@@ -1,0 +1,72 @@
+"""Ablation: access skew (YCSB Zipf 0.99) vs the paper's uniform writes.
+
+Beyond the paper: skewed updates concentrate on hot pages, so every B-tree
+variant coalesces more updates per page flush and WA falls; the B⁻-tree
+additionally keeps re-dirtying the *same* segments, so its deltas stay short.
+Hot-key clustering (adjacent hot keys share pages) helps more than the
+scattered worst case.
+"""
+
+from conftest import emit, scaled
+
+from repro.bench.harness import ExperimentSpec, build_engine
+from repro.bench.reporting import format_table
+from repro.metrics.counters import compute_wa
+from repro.sim.rng import DeterministicRng
+from repro.workloads.runner import WorkloadRunner
+
+WORKLOADS = ["uniform", "zipf-clustered", "zipf-scattered"]
+
+
+def run_one(system: str, workload: str):
+    spec = ExperimentSpec(
+        system=system, n_records=scaled(40_000), record_size=128,
+        n_threads=4, steady_ops=scaled(30_000),
+    )
+    engine, device, clock = build_engine(spec)
+    rng = DeterministicRng(spec.seed)
+    runner = WorkloadRunner(engine, device, clock, n_threads=spec.n_threads)
+    runner.populate(spec.keyspace, rng.split("populate"))
+    if workload == "uniform":
+        phase = runner.run_random_writes(spec.keyspace, spec.steady_op_count,
+                                         rng.split("steady"))
+    else:
+        phase = runner.run_zipfian_writes(
+            spec.keyspace, spec.steady_op_count, rng.split("steady"),
+            theta=0.99, scattered=(workload == "zipf-scattered"),
+        )
+    return compute_wa(phase.traffic)
+
+
+def run_skew_ablation():
+    results = {}
+    for system in ("wiredtiger", "bminus"):
+        for workload in WORKLOADS:
+            results[(system, workload)] = run_one(system, workload)
+    return results
+
+
+def test_ablation_skew(once):
+    results = once(run_skew_ablation)
+    rows = []
+    for system in ("wiredtiger", "bminus"):
+        row = [system]
+        for workload in WORKLOADS:
+            row.append(results[(system, workload)].wa_total)
+        rows.append(row)
+    emit("ablation_skew", format_table(
+        "Ablation: WA under uniform vs Zipf(0.99) updates (128B, 8KB pages)",
+        ["system"] + WORKLOADS,
+        rows,
+        note="skew coalesces updates on hot pages: WA falls for every "
+             "variant; clustering hot keys helps most",
+    ))
+    for system in ("wiredtiger", "bminus"):
+        uniform = results[(system, "uniform")].wa_total
+        clustered = results[(system, "zipf-clustered")].wa_total
+        scattered = results[(system, "zipf-scattered")].wa_total
+        # Skew reduces WA for every variant...
+        assert clustered < 0.8 * uniform, system
+        assert scattered < uniform, system
+        # ...and page-level clustering beats the scattered worst case.
+        assert clustered <= scattered * 1.05, system

@@ -1,0 +1,65 @@
+"""Fig. 15: random point-read TPS (150GB regime, 128B records, 8KB pages).
+
+Simulated-time TPS from the device/host latency model (see
+repro.bench.speed).  Expected shapes:
+
+* the normal B-tree reads the least per lookup and leads;
+* B⁻ trails it (extra 4KB delta block + trimmed-slot transfer + in-memory
+  reconstruction), landing near RocksDB;
+* TPS scales with the thread count until device limits bite.
+"""
+
+from conftest import emit, scaled
+
+from repro.bench.harness import ExperimentSpec, full_mode, run_speed_experiment
+from repro.bench.paper import FIG15_POINT_READ_TPS
+from repro.bench.reporting import format_series
+from repro.bench.speed import SpeedModel
+
+SYSTEMS = ["wiredtiger", "rocksdb", "bminus"]
+
+
+def thread_counts():
+    return [1, 2, 4, 8, 16] if full_mode() else [1, 4, 16]
+
+
+def run_fig15():
+    model = SpeedModel()
+    tps = {}
+    for system in SYSTEMS:
+        for t in thread_counts():
+            spec = ExperimentSpec(
+                system=system,
+                n_records=scaled(40_000),
+                record_size=128,
+                n_threads=t,
+                steady_ops=scaled(20_000),
+            )
+            result, phase = run_speed_experiment(spec, "read")
+            tps[(system, t)] = model.tps(phase, result.engine, t)
+    return tps
+
+
+def test_fig15_point_read(once):
+    tps = once(run_fig15)
+    threads = thread_counts()
+    series = {
+        system: [tps[(system, t)] for t in threads] for system in SYSTEMS
+    }
+    series["paper@16thr"] = [""] * (len(threads) - 1) + [
+        " / ".join(f"{s}:{v:,}" for s, v in FIG15_POINT_READ_TPS.items())
+    ]
+    emit("fig15", format_series(
+        "Fig 15: random point-read TPS (simulated time; shapes, not absolutes)",
+        "threads", threads, series,
+        note="WiredTiger leads; B- pays the extra 4KB read + reconstruction",
+    ))
+    hi = threads[-1]
+    # The normal B-tree has the best point-read throughput.
+    assert tps[("wiredtiger", hi)] >= tps[("bminus", hi)]
+    # B- lands in RocksDB's neighbourhood (paper: both ~20% behind WT).
+    ratio = tps[("bminus", hi)] / tps[("rocksdb", hi)]
+    assert 0.5 < ratio < 1.5
+    # Throughput rises with the thread count.
+    for system in SYSTEMS:
+        assert tps[(system, hi)] > tps[(system, threads[0])]

@@ -1,0 +1,57 @@
+"""Fig. 16: random range-scan TPS (100 consecutive records per scan).
+
+Expected shapes:
+
+* B⁻'s read-path overheads amortise across the 100 records, so it sits much
+  closer to the normal B-tree than in the point-read figure;
+* RocksDB trails both B-trees: a scan must merge across every level (read
+  amplification the bloom filter cannot help with).
+"""
+
+from conftest import emit, scaled
+
+from repro.bench.harness import ExperimentSpec, full_mode, run_speed_experiment
+from repro.bench.reporting import format_series
+from repro.bench.speed import SpeedModel
+
+SYSTEMS = ["wiredtiger", "bminus", "rocksdb"]
+SCAN_LENGTH = 100
+
+
+def thread_counts():
+    return [1, 2, 4, 8, 16] if full_mode() else [1, 4, 16]
+
+
+def run_fig16():
+    model = SpeedModel()
+    tps = {}
+    for system in SYSTEMS:
+        for t in thread_counts():
+            spec = ExperimentSpec(
+                system=system,
+                n_records=scaled(40_000),
+                record_size=128,
+                n_threads=t,
+                steady_ops=scaled(3_000),  # scans touch 100 records each
+            )
+            result, phase = run_speed_experiment(spec, "scan", scan_length=SCAN_LENGTH)
+            tps[(system, t)] = model.tps(phase, result.engine, t)
+    return tps
+
+
+def test_fig16_range_scan(once):
+    tps = once(run_fig16)
+    threads = thread_counts()
+    series = {system: [tps[(system, t)] for t in threads] for system in SYSTEMS}
+    emit("fig16", format_series(
+        "Fig 16: range-scan TPS, 100 records/scan (simulated time)",
+        "threads", threads, series,
+        note="B- within reach of the normal B-tree; RocksDB pays "
+             "multi-level merge read amplification",
+    ))
+    hi = threads[-1]
+    # RocksDB trails both B-trees on scans.
+    assert tps[("rocksdb", hi)] < tps[("wiredtiger", hi)]
+    assert tps[("rocksdb", hi)] < tps[("bminus", hi)]
+    # B- is much closer to the normal B-tree here than on point reads.
+    assert tps[("bminus", hi)] > 0.6 * tps[("wiredtiger", hi)]

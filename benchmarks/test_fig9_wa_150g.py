@@ -1,0 +1,95 @@
+"""Fig. 9: WA under log-flush-per-minute, "150GB" dataset, 1GB:150GB cache.
+
+Grid: record size {128, 32, 16}B x systems {RocksDB, WiredTiger, baseline
+B-tree, B⁻-tree} x client threads, 8KB pages (REPRO_FULL adds 16KB pages and
+D_s = 256B).  Expected shapes:
+
+* normal B-tree WA scales ~linearly with page_size/record_size; B⁻ scales
+  sub-linearly, closing the gap with RocksDB;
+* at 128B records B⁻ beats RocksDB; at 16B records RocksDB wins back;
+* B-tree WA declines with thread count, B⁻'s barely moves.
+"""
+
+from conftest import emit, scaled
+
+from repro.bench.harness import ExperimentSpec, full_mode, run_wa_experiment
+from repro.bench.paper import FIG9_WA_8K
+from repro.bench.reporting import format_table
+
+
+def grid():
+    record_sizes = [128, 32, 16]
+    threads = [1, 2, 4, 8, 16] if full_mode() else [1, 16]
+    systems = ["rocksdb", "wiredtiger", "baseline-btree", "bminus"]
+    page_sizes = [8192, 16384] if full_mode() else [8192]
+    return record_sizes, threads, systems, page_sizes
+
+
+def records_for(record_size):
+    # Fix the dataset's *byte* size across record sizes, like the paper, but
+    # cap the op count so 16B-record runs stay tractable.
+    return scaled({128: 50_000, 32: 100_000, 16: 120_000}[record_size])
+
+
+def run_fig9():
+    record_sizes, threads, systems, page_sizes = grid()
+    results = {}
+    for page_size in page_sizes:
+        for record_size in record_sizes:
+            for system in systems:
+                for t in threads:
+                    spec = ExperimentSpec(
+                        system=system,
+                        n_records=records_for(record_size),
+                        record_size=record_size,
+                        page_size=page_size,
+                        n_threads=t,
+                        steady_ops=min(records_for(record_size), scaled(60_000)),
+                        log_flush_policy="interval",
+                    )
+                    results[(page_size, record_size, system, t)] = run_wa_experiment(spec)
+    return results
+
+
+def test_fig9_wa_150g(once):
+    results = once(run_fig9)
+    record_sizes, threads, systems, page_sizes = grid()
+    rows = []
+    for page_size in page_sizes:
+        for record_size in record_sizes:
+            for system in systems:
+                paper = FIG9_WA_8K.get(system, {}).get(record_size, "")
+                row = [f"{page_size // 1024}KB", f"{record_size}B", system]
+                for t in threads:
+                    row.append(results[(page_size, record_size, system, t)].wa_total)
+                row.append(f"~{paper}" if paper else "")
+                rows.append(row)
+    emit("fig9", format_table(
+        "Fig 9: WA, log-flush-per-minute, 150GB-regime (cache 1/150 of data)",
+        ["page", "record", "system"] + [f"WA@{t}thr" for t in threads] + ["paper(8K)"],
+        rows,
+        note="B- closes the gap: beats RocksDB at 128B, loses it at 16B; "
+             "normal B-tree scales ~linearly in 1/record_size",
+    ))
+    t_hi = threads[-1]
+    for page_size in page_sizes:
+        wa = lambda sys, rs, t=t_hi: results[(page_size, rs, sys, t)].wa_total
+        # B- slashes baseline B-tree WA at every record size.
+        for rs in record_sizes:
+            assert wa("bminus", rs) < 0.5 * wa("baseline-btree", rs), (page_size, rs)
+        # At 128B records, B- lands at or near RocksDB (paper: 8 vs 14; at
+        # our scale RocksDB holds ~2 fewer levels, so its WA is lower than
+        # the paper's and the comparison is tighter — see EXPERIMENTS.md).
+        # Only meaningful when the scaled LSM actually formed >= 4 levels.
+        rocks_levels = sum(
+            1 for b in results[(page_size, 128, "rocksdb", t_hi)].level_shape if b
+        )
+        if rocks_levels >= 4:
+            assert wa("bminus", 128) < 1.6 * wa("rocksdb", 128)
+        # Normal B-tree WA grows as records shrink; RocksDB barely moves.
+        assert wa("baseline-btree", 16) > 2.5 * wa("baseline-btree", 128)
+        assert wa("rocksdb", 16) < 3.0 * wa("rocksdb", 128)
+        # WiredTiger and the baseline (both conventional shadowing) coincide.
+        for rs in record_sizes:
+            assert abs(wa("wiredtiger", rs) - wa("baseline-btree", rs)) < 0.35 * wa(
+                "baseline-btree", rs)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Tour of the computational storage drive simulator (§2.2 of the paper).
+
+Demonstrates the properties the B⁻-tree's three techniques build on:
+
+1. per-4KB transparent compression — physical cost follows content;
+2. sparse blocks (mostly zeros) are almost free physically;
+3. TRIM reclaims flash and reads back as zeros;
+4. thin provisioning — the LBA span can exceed physical capacity.
+
+Run:  python examples/compressing_device_tour.py
+"""
+
+from repro.csd import BLOCK_SIZE, CompressedBlockDevice
+from repro.sim.rng import DeterministicRng
+
+
+def show(device: CompressedBlockDevice, label: str) -> None:
+    stats = device.stats
+    print(f"{label:44s} logical={device.logical_bytes_used:>9,}B  "
+          f"physical={device.physical_bytes_used:>9,}B  "
+          f"written={stats.physical_bytes_written:>9,}B")
+
+
+def main() -> None:
+    rng = DeterministicRng(1)
+    device = CompressedBlockDevice(
+        num_blocks=4096,                      # 16MB of LBA space ...
+        physical_capacity=4 << 20,            # ... over 4MB of "flash"
+    )
+    print("thin provisioning: 16MB LBA span on 4MB of physical flash\n")
+
+    # 1. Content determines physical cost.
+    device.write_block(0, rng.random_bytes(BLOCK_SIZE))          # incompressible
+    show(device, "write 4KB of random bytes")
+    device.write_block(1, rng.random_bytes(2048) + bytes(2048))  # half zeros
+    show(device, "write 4KB that is half zeros")
+    device.write_block(2, bytes(BLOCK_SIZE))                     # all zeros
+    show(device, "write 4KB of zeros")
+
+    # 2. Sparse data structures are near-free: 100 blocks, 64 bytes each.
+    for lba in range(10, 110):
+        device.write_block(lba, rng.random_bytes(64) + bytes(BLOCK_SIZE - 64))
+    show(device, "write 100 blocks with 64B payload each")
+    print("  -> 400KB of logical writes, a few KB of flash: this is what\n"
+          "     makes per-page delta blocks and zero-padded logs viable\n")
+
+    # 3. TRIM decouples logical from physical.
+    device.trim(10, 100)
+    show(device, "TRIM those 100 blocks")
+    assert device.read_block(10) == bytes(BLOCK_SIZE)
+    print("  -> trimmed blocks read back as zeros (slot arbitration relies "
+          "on this)\n")
+
+    # 4. Reads fetch only live compressed extents.
+    before = device.stats.physical_bytes_read
+    device.read_blocks(0, 3)  # random + half-zero + zero blocks
+    fetched = device.stats.physical_bytes_read - before
+    print(f"reading 3 blocks (12,288B logical) fetched only {fetched:,}B "
+          f"from flash")
+
+    # 5. The drive reports exactly what WA is computed from.
+    ratio = device.stats.compression_ratio
+    print(f"\nsmart log: compression ratio of everything written so far: "
+          f"{ratio:.3f} (post/pre, lower is better)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Crash recovery demo: torn writes, slot arbitration, and WAL replay.
+
+Crashes a B⁻-tree mid-workload with *random per-4KB-block survival* of all
+unsynced writes — the worst case the deterministic-shadowing design defends
+against — then recovers and verifies that exactly the committed state
+survives.  Repeats the abuse several times.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+import random
+
+from repro.core import BMinusConfig, BMinusTree
+from repro.csd import CompressedBlockDevice
+
+
+def main() -> None:
+    rng = random.Random(2022)
+    device = CompressedBlockDevice(num_blocks=400_000)
+    config = BMinusConfig(
+        cache_bytes=1 << 16,  # tiny cache: every op churns flushes
+        max_pages=4096,
+        log_blocks=1024,
+        log_flush_policy="commit",  # commits are durable at commit time
+    )
+    store = BMinusTree(device, config)
+    committed: dict[bytes, bytes] = {}
+
+    for crash_round in range(1, 6):
+        # Run a burst of committed transactions ...
+        for _ in range(rng.randrange(500, 1500)):
+            key = rng.randrange(1000).to_bytes(8, "big")
+            if rng.random() < 0.15 and committed:
+                victim = rng.choice(sorted(committed))
+                store.delete(victim)
+                del committed[victim]
+            else:
+                value = rng.randbytes(48) + bytes(48)
+                store.put(key, value)
+                committed[key] = value
+            store.commit()
+        # ... and a few that never commit (they must vanish).
+        for i in range(3):
+            store.put(f"uncommitted-{i}".encode(), b"doomed")
+
+        # Pull the power.  Every pending 4KB block independently may or may
+        # not have reached flash: multi-block page writes tear arbitrarily.
+        lost = device.simulate_crash(survives=lambda lba: rng.random() < 0.5)
+        print(f"crash #{crash_round}: {len(lost)} unsynced blocks dropped, "
+              f"{len(committed)} records committed", end=" ... ")
+
+        store = BMinusTree.open(device, config)
+        state = dict(store.items())
+        assert state == committed, "recovery diverged from committed state!"
+        assert all(not k.startswith(b"uncommitted") for k in state)
+        store.engine.tree.check_invariants()
+        print("recovered, verified")
+
+    print("\nall crash rounds recovered the exact committed state")
+    print("(torn page images were rejected by checksum; the ping-pong slot "
+          "with the higher LSN won; the redo log replayed the tail)")
+
+
+if __name__ == "__main__":
+    main()

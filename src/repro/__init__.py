@@ -1,0 +1,34 @@
+"""Reproduction of "Closing the B+-tree vs. LSM-tree Write Amplification Gap
+on Modern Storage Hardware with Built-in Transparent Compression".
+
+Public entry points:
+
+* :class:`repro.core.BMinusTree` — the paper's B⁻-tree (the contribution).
+* :class:`repro.btree.BTreeEngine` — the baseline B+-tree engine, with
+  pluggable page-atomicity strategies.
+* :class:`repro.lsm.LSMEngine` — the leveled LSM-tree (RocksDB stand-in).
+* :class:`repro.csd.CompressedBlockDevice` — the simulated computational
+  storage drive with built-in transparent compression.
+* :mod:`repro.bench` — the harness that regenerates the paper's evaluation.
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+from repro.btree.engine import BTreeConfig, BTreeEngine
+from repro.core.bminus import BMinusConfig, BMinusTree
+from repro.csd.device import CompressedBlockDevice, PlainSSD
+from repro.lsm.engine import LSMConfig, LSMEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BMinusConfig",
+    "BMinusTree",
+    "BTreeConfig",
+    "BTreeEngine",
+    "CompressedBlockDevice",
+    "LSMConfig",
+    "LSMEngine",
+    "PlainSSD",
+    "__version__",
+]

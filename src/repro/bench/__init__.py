@@ -1,0 +1,22 @@
+"""Benchmark harness: one entry point per paper table/figure."""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    ExperimentSpec,
+    build_engine,
+    run_speed_experiment,
+    run_wa_experiment,
+)
+from repro.bench.reporting import format_series, format_table
+from repro.bench.speed import SpeedModel
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "SpeedModel",
+    "build_engine",
+    "format_series",
+    "format_table",
+    "run_speed_experiment",
+    "run_wa_experiment",
+]

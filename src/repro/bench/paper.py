@@ -1,0 +1,60 @@
+"""The paper's reported numbers, for side-by-side printing.
+
+Values come from the paper's text (exact where quoted) and from reading its
+figures (approximate, marked with ``~``).  Benchmarks print these next to the
+measured values so the reader can judge shape fidelity; the absolute scales
+differ by construction (simulator vs. the authors' drive and server).
+"""
+
+# Table 1: storage usage after populate + 1h random writes, 150GB/128B.
+TABLE1_STORAGE_GB = {
+    "rocksdb": {"logical": 218, "physical": 129},
+    "wiredtiger": {"logical": 280, "physical": 104},
+}
+
+# Fig. 4 (motivation): write amplification, 128B records, 8KB pages, 150GB.
+FIG4_WA = {
+    "rocksdb": {1: 14.0, 16: 14.0},  # "consistently about 4x less than WT"
+    "wiredtiger": {1: 64.0, 16: 50.0},
+}
+
+# Fig. 9 (150GB, 1GB cache, log-flush-per-minute): WA by record size at
+# 8KB pages (headline numbers quoted in the text; others read from figure).
+FIG9_WA_8K = {
+    "rocksdb": {128: 14.0, 32: 25.0, 16: 35.0},
+    "wiredtiger": {128: 64.0, 32: 200.0, 16: 400.0},
+    "bminus": {128: 8.0, 32: 20.0, 16: 40.0},
+}
+
+# Fig. 10 (500GB, 15GB cache): quoted for 32B records, 4 threads.
+FIG10_WA_32B_4T = {
+    "rocksdb": 38.0,
+    "wiredtiger_8k": 268.0,
+    "wiredtiger_16k": 530.0,
+    "bminus_8k_ds128": 28.0,
+    "bminus_16k_ds128": 36.0,
+}
+
+# Table 2: storage usage overhead factor beta of the B-minus-tree.
+TABLE2_BETA = {
+    (8192, 128): {4096: 0.270, 2048: 0.124, 1024: 0.056},
+    (8192, 256): {4096: 0.263, 2048: 0.115, 1024: 0.048},
+    (16384, 128): {4096: 0.127, 2048: 0.060, 1024: 0.028},
+    (16384, 256): {4096: 0.123, 2048: 0.056, 1024: 0.023},
+}
+
+# Fig. 13 (quoted): physical usage at 500GB dataset.
+FIG13_PHYSICAL_GB = {"rocksdb": 431, "bminus_t2k": 452}  # B- about 5% larger
+
+# Fig. 15 (point reads, 150GB/128B/8KB pages, 16 threads).
+FIG15_POINT_READ_TPS = {"wiredtiger": 71_000, "rocksdb": 57_000, "bminus": 57_000}
+
+# Fig. 17 (random writes, log-flush-per-minute, 150GB/128B/8KB).
+FIG17_WRITE_TPS = {"bminus": 85_000, "rocksdb": 71_000, "wiredtiger": 28_000}
+
+# Headline claims (abstract / §1).
+HEADLINES = {
+    "bminus_wa_reduction_vs_baseline": 10.0,  # "over 10x"
+    "bminus_vs_rocksdb_wa_128B": (8.0, 14.0),
+    "bminus_vs_wiredtiger_wa_128B": (8.0, 64.0),
+}

@@ -1,0 +1,70 @@
+"""Table/series formatting for benchmark output.
+
+Every bench prints, for its paper table or figure, the measured values next
+to the paper's reported values in fixed-width text tables, so the bench
+output reads like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table with a title banner."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in cells)) if cells
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = ["", "=" * max(len(title), 8), title, "=" * max(len(title), 8)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(w) for value, w in zip(row, widths)))
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: dict,
+    note: Optional[str] = None,
+) -> str:
+    """Render one figure's line series as a table: one row per x value."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        row = [x]
+        for values in series.values():
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    return format_table(title, headers, rows, note)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ratio(a: float, b: float) -> str:
+    """Human-readable 'a is Nx of b'."""
+    if b == 0:
+        return "n/a"
+    return f"{a / b:.2f}x"

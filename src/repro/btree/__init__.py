@@ -1,0 +1,46 @@
+"""Baseline B+-tree storage engine substrate.
+
+A complete disk-backed B+-tree: slotted pages over raw byte buffers (with
+runtime dirty-range tracking, the hook the paper's localized page modification
+logging needs), a buffer pool with LRU eviction, pluggable page-atomicity
+strategies (in-place + journal, conventional shadow with a persisted page
+table, and the paper's deterministic page shadowing), and a redo log with both
+conventional packed and sparse layouts.
+"""
+
+from repro.btree.buffer_pool import BufferPool, PoolStats
+from repro.btree.engine import BTreeConfig, BTreeEngine
+from repro.btree.page import PAGE_HEADER_SIZE, PAGE_TRAILER_SIZE, Page, PageType
+from repro.btree.pager import (
+    DeterministicShadowPager,
+    JournalPager,
+    Pager,
+    PagerStats,
+    ShadowTablePager,
+    make_pager,
+)
+from repro.btree.tree import BTree
+from repro.btree.wal import LogOp, LogPosition, LogRecord, RedoLog, WalStats
+
+__all__ = [
+    "BTree",
+    "BTreeConfig",
+    "BTreeEngine",
+    "BufferPool",
+    "DeterministicShadowPager",
+    "JournalPager",
+    "LogOp",
+    "LogPosition",
+    "LogRecord",
+    "PAGE_HEADER_SIZE",
+    "PAGE_TRAILER_SIZE",
+    "Page",
+    "PageType",
+    "Pager",
+    "PagerStats",
+    "PoolStats",
+    "RedoLog",
+    "ShadowTablePager",
+    "WalStats",
+    "make_pager",
+]

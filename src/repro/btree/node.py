@@ -1,0 +1,375 @@
+"""In-page B+-tree node algorithms.
+
+Two cell formats share the slotted-page machinery of :mod:`repro.btree.page`:
+
+* **Leaf cells**: ``klen:u16 | vlen:u16 | key | value``
+* **Internal cells**: ``klen:u16 | child:u64 | key``
+
+Internal nodes hold ``n`` cells ``(key_i, child_i)``, sorted by key, with the
+invariant that ``child_i`` covers keys in ``[key_i, key_{i+1})``.  The first
+cell's key is always the empty string, which compares lower than every real
+key, so no special leftmost-child field is needed.
+
+All mutations operate directly on the page buffer and therefore feed the
+runtime dirty-range tracker — this is the property the paper's localized page
+modification logging (§3.2) builds on: a small record insert dirties only the
+new cell, the shifted tail of the slot directory, and the header/trailer.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional
+
+from repro.btree.page import Page, PageType
+from repro.errors import KeyNotFoundError, PageFormatError, PageFullError
+
+_LEAF_CELL_HDR = struct.Struct("<HH")
+_INT_CELL_HDR = struct.Struct("<HQ")
+
+#: Minimum free bytes a split leaves in each half, so that a split always
+#: produces room for the insert that triggered it.
+_MAX_KEY = 2**16 - 1
+
+
+def leaf_cell_size(key: bytes, value: bytes) -> int:
+    """On-page bytes needed by a leaf cell for ``(key, value)``."""
+    return _LEAF_CELL_HDR.size + len(key) + len(value)
+
+
+def internal_cell_size(key: bytes) -> int:
+    """On-page bytes needed by an internal cell for ``key``."""
+    return _INT_CELL_HDR.size + len(key)
+
+
+class _NodeBase:
+    """Shared key/slot navigation for leaf and internal nodes."""
+
+    __slots__ = ("page",)
+
+    def __init__(self, page: Page) -> None:
+        self.page = page
+
+    def key_at(self, index: int) -> bytes:
+        raise NotImplementedError
+
+    @property
+    def nslots(self) -> int:
+        return self.page.nslots
+
+    #: Byte offset from a cell's start to its key bytes (set per subclass so
+    #: the hot binary-search loop can read keys without struct round-trips).
+    _key_offset_in_cell = 0
+
+    def _bisect(self, key: bytes) -> tuple[int, bool]:
+        """Return ``(index, found)``: the slot of ``key`` or its insert point.
+
+        Hand-inlined buffer access: this loop dominates every tree descent.
+        """
+        buf = self.page.buf
+        lo = 0
+        hi = buf[22] | (buf[23] << 8)  # nslots, little-endian u16 at offset 22
+        koff = self._key_offset_in_cell
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            slot = 32 + (mid << 1)  # PAGE_HEADER_SIZE + 2*mid
+            cell = buf[slot] | (buf[slot + 1] << 8)
+            klen = buf[cell] | (buf[cell + 1] << 8)
+            start = cell + koff
+            probe = buf[start : start + klen]
+            if probe == key:
+                return mid, True
+            if probe < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo, False
+
+    def keys(self) -> list[bytes]:
+        return [self.key_at(i) for i in range(self.page.nslots)]
+
+    def _compact(self) -> None:
+        """Rewrite the cell area tightly, reclaiming dead bytes.
+
+        Compaction rewrites most of the page, so it conservatively marks the
+        whole image dirty.
+        """
+        page = self.page
+        cells = [self._raw_cell(i) for i in range(page.nslots)]
+        offset = page.size - 8  # trailer size; cells pack downward from here
+        page._set_cell_start(page.size - 8)
+        for index, cell in enumerate(cells):
+            offset -= len(cell)
+            page.buf[offset : offset + len(cell)] = cell
+            page.set_slot_offset(index, offset)
+        page._set_cell_start(offset)
+        page._set_dead_bytes(0)
+        page.mark_all_dirty()
+
+    def _raw_cell(self, index: int) -> bytes:
+        raise NotImplementedError
+
+    def _ensure_room(self, needed: int) -> None:
+        """Make ``needed + slot`` bytes of contiguous room or raise PageFullError."""
+        page = self.page
+        total = needed + 2  # the new slot directory entry
+        if page.free_space >= total:
+            return
+        if page.reclaimable_space >= total:
+            self._compact()
+            return
+        raise PageFullError(
+            f"page {page.page_id}: need {total} bytes, "
+            f"only {page.reclaimable_space} reclaimable"
+        )
+
+
+class LeafNode(_NodeBase):
+    """Leaf-node operations over a :class:`Page` of type LEAF."""
+
+    _key_offset_in_cell = _LEAF_CELL_HDR.size  # klen u16 | vlen u16 | key...
+
+    @classmethod
+    def create(cls, size: int, page_id: int) -> "LeafNode":
+        return cls(Page(size, page_id, PageType.LEAF, level=0))
+
+    # ------------------------------------------------------------- reading
+
+    def _cell_parts(self, index: int) -> tuple[int, int, int]:
+        offset = self.page.slot_offset(index)
+        klen, vlen = _LEAF_CELL_HDR.unpack_from(self.page.buf, offset)
+        return offset, klen, vlen
+
+    def key_at(self, index: int) -> bytes:
+        offset, klen, _ = self._cell_parts(index)
+        start = offset + _LEAF_CELL_HDR.size
+        return bytes(self.page.buf[start : start + klen])
+
+    def value_at(self, index: int) -> bytes:
+        offset, klen, vlen = self._cell_parts(index)
+        start = offset + _LEAF_CELL_HDR.size + klen
+        return bytes(self.page.buf[start : start + vlen])
+
+    def _raw_cell(self, index: int) -> bytes:
+        offset, klen, vlen = self._cell_parts(index)
+        return bytes(self.page.buf[offset : offset + _LEAF_CELL_HDR.size + klen + vlen])
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        index, found = self._bisect(key)
+        return self.value_at(index) if found else None
+
+    def records(self) -> Iterator[tuple[bytes, bytes]]:
+        for i in range(self.page.nslots):
+            yield self.key_at(i), self.value_at(i)
+
+    def records_from(self, start_key: bytes) -> Iterator[tuple[bytes, bytes]]:
+        index, _ = self._bisect(start_key)
+        for i in range(index, self.page.nslots):
+            yield self.key_at(i), self.value_at(i)
+
+    def used_bytes(self) -> int:
+        """Live cell + slot bytes (occupancy accounting)."""
+        return sum(
+            _LEAF_CELL_HDR.size + klen + vlen + 2
+            for _, klen, vlen in (self._cell_parts(i) for i in range(self.page.nslots))
+        )
+
+    # ------------------------------------------------------------- writing
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        """Insert or update; returns True if the key was newly inserted.
+
+        Raises :class:`PageFullError` when the record cannot fit even after
+        compaction — the tree layer then splits this node.
+        """
+        if len(key) > _MAX_KEY or len(value) > _MAX_KEY:
+            raise PageFormatError("key/value longer than 64KB is unsupported")
+        index, found = self._bisect(key)
+        if found:
+            self._update_at(index, key, value)
+            return False
+        needed = leaf_cell_size(key, value)
+        self._ensure_room(needed)
+        index, _ = self._bisect(key)  # compaction does not reorder, but be safe
+        offset = self.page.allocate_cell(needed)
+        self.page.write_cell(offset, _LEAF_CELL_HDR.pack(len(key), len(value)) + key + value)
+        self.page.insert_slot(index, offset)
+        return True
+
+    def _update_at(self, index: int, key: bytes, value: bytes) -> None:
+        offset, klen, vlen = self._cell_parts(index)
+        if vlen == len(value):
+            # Same-size update: overwrite the value bytes in place — the most
+            # localized modification possible.
+            start = offset + _LEAF_CELL_HDR.size + klen
+            self.page.buf[start : start + vlen] = value
+            self.page.mark_dirty(start, start + vlen)
+            return
+        self.delete_at(index)
+        needed = leaf_cell_size(key, value)
+        self._ensure_room(needed)
+        new_index, _ = self._bisect(key)
+        offset = self.page.allocate_cell(needed)
+        self.page.write_cell(offset, _LEAF_CELL_HDR.pack(len(key), len(value)) + key + value)
+        self.page.insert_slot(new_index, offset)
+
+    def delete(self, key: bytes) -> None:
+        index, found = self._bisect(key)
+        if not found:
+            raise KeyNotFoundError(repr(key))
+        self.delete_at(index)
+
+    def delete_at(self, index: int) -> None:
+        _, klen, vlen = self._cell_parts(index)
+        self.page.add_dead_bytes(_LEAF_CELL_HDR.size + klen + vlen)
+        self.page.remove_slot(index)
+
+    def split_into(self, right: "LeafNode") -> bytes:
+        """Move the upper half (by bytes) into ``right``; return the separator.
+
+        The separator is the first key of the right node; parent routing uses
+        ``key >= separator -> right``.
+        """
+        n = self.page.nslots
+        if n < 2:
+            raise PageFormatError("cannot split a page with fewer than 2 records")
+        sizes = [len(self._raw_cell(i)) + 2 for i in range(n)]
+        total = sum(sizes)
+        acc, mid = 0, n - 1
+        for i in range(n):
+            acc += sizes[i]
+            if acc >= total // 2 and i + 1 < n:
+                mid = i + 1
+                break
+        moved = [(self.key_at(i), self.value_at(i)) for i in range(mid, n)]
+        for key, value in moved:
+            right.put(key, value)
+        for i in range(n - 1, mid - 1, -1):
+            self.delete_at(i)
+        self._compact()
+        return moved[0][0]
+
+
+class InternalNode(_NodeBase):
+    """Internal-node operations over a :class:`Page` of type INTERNAL."""
+
+    _key_offset_in_cell = _INT_CELL_HDR.size  # klen u16 | child u64 | key...
+
+    @classmethod
+    def create(cls, size: int, page_id: int, level: int) -> "InternalNode":
+        if level < 1:
+            raise PageFormatError("internal nodes live at level >= 1")
+        return cls(Page(size, page_id, PageType.INTERNAL, level=level))
+
+    # ------------------------------------------------------------- reading
+
+    def _cell_parts(self, index: int) -> tuple[int, int, int]:
+        offset = self.page.slot_offset(index)
+        klen, child = _INT_CELL_HDR.unpack_from(self.page.buf, offset)
+        return offset, klen, child
+
+    def key_at(self, index: int) -> bytes:
+        offset, klen, _ = self._cell_parts(index)
+        start = offset + _INT_CELL_HDR.size
+        return bytes(self.page.buf[start : start + klen])
+
+    def child_at(self, index: int) -> int:
+        return self._cell_parts(index)[2]
+
+    def _raw_cell(self, index: int) -> bytes:
+        offset, klen, _ = self._cell_parts(index)
+        return bytes(self.page.buf[offset : offset + _INT_CELL_HDR.size + klen])
+
+    def children(self) -> list[int]:
+        return [self.child_at(i) for i in range(self.page.nslots)]
+
+    def child_index_for(self, key: bytes) -> int:
+        """Index of the child whose key range contains ``key``."""
+        if self.page.nslots == 0:
+            raise PageFormatError("internal node has no children")
+        index, found = self._bisect(key)
+        return index if found else index - 1
+
+    def child_for(self, key: bytes) -> int:
+        return self.child_at(self.child_index_for(key))
+
+    # ------------------------------------------------------------- writing
+
+    def add_first_child(self, child_id: int) -> None:
+        """Install the leftmost child (empty separator key)."""
+        if self.page.nslots != 0:
+            raise PageFormatError("leftmost child must be installed first")
+        self._insert_cell(0, b"", child_id)
+
+    def insert_separator(self, key: bytes, child_id: int) -> None:
+        """Insert a routing entry ``key -> child_id`` (from a child split)."""
+        if not key:
+            raise PageFormatError("separator keys must be non-empty")
+        index, found = self._bisect(key)
+        if found:
+            raise PageFormatError(f"duplicate separator {key!r}")
+        self._insert_cell(index, key, child_id)
+
+    def _insert_cell(self, index: int, key: bytes, child_id: int) -> None:
+        needed = internal_cell_size(key)
+        self._ensure_room(needed)
+        offset = self.page.allocate_cell(needed)
+        self.page.write_cell(offset, _INT_CELL_HDR.pack(len(key), child_id) + key)
+        self.page.insert_slot(index, offset)
+
+    def remove_separator_at(self, index: int) -> None:
+        _, klen, _ = self._cell_parts(index)
+        self.page.add_dead_bytes(_INT_CELL_HDR.size + klen)
+        self.page.remove_slot(index)
+
+    def remove_child(self, index: int) -> None:
+        """Remove the routing entry at ``index``, keeping the invariant that
+        slot 0 carries the empty (minimum) key.
+
+        Removing the leftmost entry promotes the next entry to leftmost by
+        rewriting its key as empty.
+        """
+        self.remove_separator_at(index)
+        if index == 0 and self.page.nslots > 0 and self.key_at(0) != b"":
+            child = self.child_at(0)
+            self.remove_separator_at(0)
+            self._insert_cell(0, b"", child)
+
+    def replace_child_at(self, index: int, child_id: int) -> None:
+        offset, _, _ = self._cell_parts(index)
+        struct.pack_into("<Q", self.page.buf, offset + 2, child_id)
+        self.page.mark_dirty(offset + 2, offset + 10)
+
+    def split_into(self, right: "InternalNode") -> bytes:
+        """Split; return the key promoted to the parent.
+
+        The promoted key routes to ``right``, whose first cell becomes its
+        (implicit-minimum) leftmost child.
+        """
+        n = self.page.nslots
+        if n < 3:
+            raise PageFormatError("cannot split an internal node with fewer than 3 cells")
+        mid = n // 2
+        promoted = self.key_at(mid)
+        right.add_first_child(self.child_at(mid))
+        for i in range(mid + 1, n):
+            right.insert_separator(self.key_at(i), self.child_at(i))
+        for i in range(n - 1, mid - 1, -1):
+            self.remove_separator_at(i)
+        self._compact()
+        return promoted
+
+    def used_bytes(self) -> int:
+        return sum(
+            _INT_CELL_HDR.size + klen + 2
+            for _, klen, _ in (self._cell_parts(i) for i in range(self.page.nslots))
+        )
+
+
+def node_for_page(page: Page):
+    """Wrap ``page`` in the node class matching its type."""
+    if page.page_type == PageType.LEAF:
+        return LeafNode(page)
+    if page.page_type == PageType.INTERNAL:
+        return InternalNode(page)
+    raise PageFormatError(f"page {page.page_id} is not a tree node ({page.page_type})")

@@ -1,0 +1,441 @@
+"""Page storage managers: where pages live on the device and how flushes
+become atomic.
+
+Three strategies from the paper's taxonomy (§2.4) are implemented:
+
+* :class:`JournalPager` — in-place updates guarded by a double-write journal
+  (MySQL's doublewrite buffer / PostgreSQL full-page writes).  Every flush
+  writes the page twice: ``W_e = W_pg``.
+* :class:`ShadowTablePager` — conventional copy-on-write: each flush goes to a
+  freshly allocated slot and the page-table block mapping the page is
+  persisted afterwards (the paper's baseline B-tree persists the table after
+  each page flush).  ``W_e`` = one 4KB table write per flush.
+* :class:`DeterministicShadowPager` — the paper's technique 1 (§3.1): two
+  fixed slots per page used in a ping-pong manner, the stale slot TRIMmed
+  after each flush, and a volatile bitmap tracking the valid slot.  No mapping
+  state is ever persisted: ``W_e = 0``.  On a compressing device the trimmed
+  slot costs no physical space, so doubling the logical footprint is free.
+
+All pagers account their traffic in a :class:`PagerStats` so the harness can
+report the paper's ``WA_pg`` / ``WA_e`` decomposition.
+"""
+
+from __future__ import annotations
+
+import struct
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from repro.btree.page import Page
+from repro.csd.device import BLOCK_SIZE, BlockDevice
+from repro.errors import ConfigError, RecoveryError, TreeError
+
+
+@dataclass
+class PagerStats:
+    """Write traffic split into the paper's page vs extra categories."""
+
+    page_flushes: int = 0
+    page_logical_bytes: int = 0
+    page_physical_bytes: int = 0
+    extra_logical_bytes: int = 0
+    extra_physical_bytes: int = 0
+    page_loads: int = 0
+    delta_flushes: int = 0  # used by the B⁻-tree delta pager
+    full_flushes: int = 0
+
+
+class Pager(ABC):
+    """Common allocator + layout machinery for all page storage managers."""
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        page_size: int,
+        max_pages: int,
+        region_start: int,
+    ) -> None:
+        if page_size % BLOCK_SIZE != 0:
+            raise ConfigError(f"page size must be a multiple of {BLOCK_SIZE}")
+        if max_pages <= 0:
+            raise ConfigError("max_pages must be positive")
+        self.device = device
+        self.page_size = page_size
+        self.page_blocks = page_size // BLOCK_SIZE
+        self.max_pages = max_pages
+        self.region_start = region_start
+        self.stats = PagerStats()
+        self._next_page_id = 0
+        self._free_ids: list[int] = []
+        #: Ids of pages allocated but never yet persisted.  The engine uses
+        #: this to order flushes (an internal page must not be written while
+        #: pointing at a never-written child).
+        self.never_flushed: set[int] = set()
+        #: Flush-order constraints: before page ``k`` is written, every page
+        #: in ``flush_after[k]`` must be durable.  Registered at split time —
+        #: the shrunken left page must not reach storage before the parent
+        #: holding the new separator does, or a crash would strand the moved
+        #: records (see ``BTreeEngine._flush_with_dependencies``).
+        self.flush_after: dict[int, set[int]] = {}
+        #: Pages freed since the last checkpoint.  Their storage cannot be
+        #: reclaimed (nor their ids reused) until the parents that dropped
+        #: them are durable, i.e. until the next checkpoint.
+        self._deferred_free: list[int] = []
+        if region_start + self.region_blocks() > device.num_blocks:
+            raise ConfigError(
+                f"device too small: pager needs blocks "
+                f"[{region_start}, {region_start + self.region_blocks()}), "
+                f"device has {device.num_blocks}"
+            )
+
+    # ----------------------------------------------------------- allocator
+
+    def allocate_page_id(self) -> int:
+        if self._free_ids:
+            page_id = self._free_ids.pop()
+            self.never_flushed.add(page_id)
+            return page_id
+        if self._next_page_id >= self.max_pages:
+            raise ConfigError(f"page budget of {self.max_pages} exhausted")
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        self.never_flushed.add(page_id)
+        return page_id
+
+    def free_page(self, page_id: int) -> None:
+        """Mark a page free; storage release and id reuse wait for checkpoint."""
+        self.never_flushed.discard(page_id)
+        self.flush_after.pop(page_id, None)
+        self._deferred_free.append(page_id)
+
+    def apply_deferred_frees(self) -> list[int]:
+        """Release storage of pages freed since the last checkpoint.
+
+        Called by the engine during checkpoint, after all dirty pages (in
+        particular the parents that unlinked these pages) are durable.
+        Returns the page ids released.
+        """
+        released = self._deferred_free
+        self._deferred_free = []
+        for page_id in released:
+            self._release_storage(page_id)
+            self._free_ids.append(page_id)
+        return released
+
+    def require_flush_order(self, target_id: int, first_id: int) -> None:
+        """Record that ``first_id`` must be durable before ``target_id``."""
+        self.flush_after.setdefault(target_id, set()).add(first_id)
+
+    def allocator_state(self) -> tuple[int, list[int]]:
+        """State the engine persists in the meta page at checkpoints."""
+        return self._next_page_id, list(self._free_ids)
+
+    def restore_allocator_state(self, next_id: int, free_ids: list[int]) -> None:
+        self._next_page_id = next_id
+        self._free_ids = list(free_ids)
+
+    # ------------------------------------------------------------ interface
+
+    @abstractmethod
+    def region_blocks(self) -> int:
+        """Device blocks this pager needs from ``region_start``."""
+
+    @abstractmethod
+    def load(self, page_id: int) -> Page:
+        """Read a page from storage, verifying its checksum."""
+
+    @abstractmethod
+    def flush(self, page: Page) -> None:
+        """Durably and atomically persist ``page``."""
+
+    @abstractmethod
+    def _release_storage(self, page_id: int) -> None:
+        """Reclaim device space for a freed page."""
+
+    # --------------------------------------------------------------- common
+
+    def _finalize(self, page: Page) -> bytes:
+        page.finalize()
+        return page.image()
+
+    def _account_page_write(self, physical: int, page_id: int) -> None:
+        self.stats.page_flushes += 1
+        self.stats.page_logical_bytes += self.page_size
+        self.stats.page_physical_bytes += physical
+        self.never_flushed.discard(page_id)
+
+
+class JournalPager(Pager):
+    """In-place page updates with a double-write journal.
+
+    Layout: ``[journal ring | page 0 | page 1 | ...]``.  A flush writes the
+    page image to the journal ring first, syncs, then writes it in place.  A
+    torn in-place write is repaired from the journal copy during recovery.
+    """
+
+    #: Journal ring capacity in page-size units.
+    JOURNAL_PAGES = 16
+
+    def region_blocks(self) -> int:
+        return (self.JOURNAL_PAGES + self.max_pages) * self.page_blocks
+
+    def _journal_lba(self, index: int) -> int:
+        return self.region_start + index * self.page_blocks
+
+    def _page_lba(self, page_id: int) -> int:
+        return self.region_start + (self.JOURNAL_PAGES + page_id) * self.page_blocks
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._journal_cursor = 0
+
+    def flush(self, page: Page) -> None:
+        image = self._finalize(page)
+        journal_physical = self.device.write_blocks(
+            self._journal_lba(self._journal_cursor), image
+        )
+        self._journal_cursor = (self._journal_cursor + 1) % self.JOURNAL_PAGES
+        self.device.flush()
+        self.stats.extra_logical_bytes += self.page_size
+        self.stats.extra_physical_bytes += journal_physical
+        physical = self.device.write_blocks(self._page_lba(page.page_id), image)
+        self.device.flush()
+        self._account_page_write(physical, page.page_id)
+        page.clear_dirty()
+
+    def load(self, page_id: int) -> Page:
+        self.stats.page_loads += 1
+        image = self.device.read_blocks(self._page_lba(page_id), self.page_blocks)
+        return Page.from_bytes(image)
+
+    def recover_torn_pages(self) -> list[int]:
+        """Repair in-place images that fail their checksum from journal copies."""
+        repaired = []
+        for index in range(self.JOURNAL_PAGES):
+            image = self.device.read_blocks(self._journal_lba(index), self.page_blocks)
+            try:
+                journal_page = Page.from_bytes(image)
+            except Exception:
+                continue
+            lba = self._page_lba(journal_page.page_id)
+            current = self.device.read_blocks(lba, self.page_blocks)
+            try:
+                live = Page.from_bytes(current)
+                if live.lsn >= journal_page.lsn:
+                    continue
+            except Exception:
+                pass  # torn or stale in-place image: restore below
+            self.device.write_blocks(lba, image)
+            repaired.append(journal_page.page_id)
+        if repaired:
+            self.device.flush()
+        return repaired
+
+    def _release_storage(self, page_id: int) -> None:
+        self.device.trim(self._page_lba(page_id), self.page_blocks)
+
+
+class ShadowTablePager(Pager):
+    """Conventional page shadowing with a persisted page table.
+
+    Layout: ``[page table | slot 0 | slot 1 | ...]``.  Each flush allocates a
+    fresh slot, writes the image there, then persists the 4KB page-table block
+    holding the page's entry (this is the baseline the paper compares against,
+    §4: "we persist the page table after each page flush").
+    """
+
+    _ENTRY = struct.Struct("<q")  # slot index, -1 = unmapped
+    ENTRIES_PER_BLOCK = BLOCK_SIZE // 8
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # One extra slot per page guarantees a free shadow destination even
+        # when every page is live.
+        self.num_slots = 2 * self.max_pages
+        self._table: dict[int, int] = {}
+        self._free_slots: list[int] = list(range(self.num_slots - 1, -1, -1))
+
+    def region_blocks(self) -> int:
+        table_blocks = -(-self.max_pages // self.ENTRIES_PER_BLOCK)
+        return table_blocks + 2 * self.max_pages * self.page_blocks
+
+    def _table_blocks(self) -> int:
+        return -(-self.max_pages // self.ENTRIES_PER_BLOCK)
+
+    def _slot_lba(self, slot: int) -> int:
+        return self.region_start + self._table_blocks() + slot * self.page_blocks
+
+    def flush(self, page: Page) -> None:
+        image = self._finalize(page)
+        if not self._free_slots:
+            raise TreeError("shadow slot pool exhausted")
+        new_slot = self._free_slots.pop()
+        physical = self.device.write_blocks(self._slot_lba(new_slot), image)
+        self.device.flush()
+        self._account_page_write(physical, page.page_id)
+        old_slot = self._table.get(page.page_id)
+        self._table[page.page_id] = new_slot
+        self._persist_table_entry(page.page_id)
+        if old_slot is not None:
+            self.device.trim(self._slot_lba(old_slot), self.page_blocks)
+            self._free_slots.append(old_slot)
+        page.clear_dirty()
+
+    def _persist_table_entry(self, page_id: int) -> None:
+        """Write the 4KB table block containing ``page_id``'s mapping."""
+        block_index = page_id // self.ENTRIES_PER_BLOCK
+        block = self._table_block_image(block_index)
+        offset = (page_id % self.ENTRIES_PER_BLOCK) * 8
+        self._ENTRY.pack_into(block, offset, self._table.get(page_id, -1))
+        physical = self.device.write_block(self.region_start + block_index, bytes(block))
+        self.device.flush()
+        self.stats.extra_logical_bytes += BLOCK_SIZE
+        self.stats.extra_physical_bytes += physical
+
+    def _table_block_image(self, block_index: int) -> bytearray:
+        """Cached in-memory image of one table block (mirrors the mapping)."""
+        cache = getattr(self, "_table_block_cache", None)
+        if cache is None:
+            cache = self._table_block_cache = {}
+        block = cache.get(block_index)
+        if block is None:
+            block = bytearray(BLOCK_SIZE)
+            base = block_index * self.ENTRIES_PER_BLOCK
+            for i in range(self.ENTRIES_PER_BLOCK):
+                self._ENTRY.pack_into(block, i * 8, self._table.get(base + i, -1))
+            cache[block_index] = block
+        return block
+
+    def load(self, page_id: int) -> Page:
+        self.stats.page_loads += 1
+        slot = self._table.get(page_id)
+        if slot is None:
+            raise RecoveryError(f"page {page_id} has no shadow-table mapping")
+        image = self.device.read_blocks(self._slot_lba(slot), self.page_blocks)
+        return Page.from_bytes(image)
+
+    def rebuild_table(self) -> None:
+        """Reload the mapping from the persisted table region (restart path)."""
+        self._table.clear()
+        self._table_block_cache = {}
+        used = set()
+        for block_index in range(self._table_blocks()):
+            block = self.device.read_block(self.region_start + block_index)
+            base = block_index * self.ENTRIES_PER_BLOCK
+            for i in range(self.ENTRIES_PER_BLOCK):
+                slot, = self._ENTRY.unpack_from(block, i * 8)
+                if slot >= 0:
+                    self._table[base + i] = slot
+                    used.add(slot)
+        self._free_slots = [s for s in range(self.num_slots - 1, -1, -1) if s not in used]
+
+    def _release_storage(self, page_id: int) -> None:
+        slot = self._table.pop(page_id, None)
+        if slot is not None:
+            self.device.trim(self._slot_lba(slot), self.page_blocks)
+            self._free_slots.append(slot)
+            self._persist_table_entry(page_id)
+
+
+class DeterministicShadowPager(Pager):
+    """The paper's deterministic page shadowing (technique 1, §3.1).
+
+    Each page owns two fixed slots; flushes alternate between them and TRIM
+    the other.  The slot choice lives only in a volatile map, rebuilt lazily
+    on first load by reading *both* slots and arbitrating by checksum and LSN
+    — the trimmed slot reads back as zeros, the torn slot fails its CRC, and
+    when both verify the higher LSN wins.
+    """
+
+    #: Extra blocks reserved after the two slots of each page (the B⁻-tree
+    #: delta pager sets this to 1 for its dedicated modification-log block).
+    aux_blocks_per_page = 0
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._valid_slot: dict[int, int] = {}
+
+    def region_blocks(self) -> int:
+        return self.max_pages * (2 * self.page_blocks + self.aux_blocks_per_page)
+
+    def _page_base(self, page_id: int) -> int:
+        return self.region_start + page_id * (2 * self.page_blocks + self.aux_blocks_per_page)
+
+    def _slot_lba(self, page_id: int, slot: int) -> int:
+        return self._page_base(page_id) + slot * self.page_blocks
+
+    # ------------------------------------------------------------- flushing
+
+    def flush(self, page: Page) -> None:
+        image = self._finalize(page)
+        target = 1 - self._valid_slot.get(page.page_id, 1)
+        physical = self.device.write_blocks(self._slot_lba(page.page_id, target), image)
+        self.device.flush()
+        self.device.trim(self._slot_lba(page.page_id, 1 - target), self.page_blocks)
+        self._valid_slot[page.page_id] = target
+        self._account_page_write(physical, page.page_id)
+        page.clear_dirty()
+
+    # -------------------------------------------------------------- loading
+
+    def load(self, page_id: int) -> Page:
+        self.stats.page_loads += 1
+        slot = self._valid_slot.get(page_id)
+        if slot is not None:
+            image = self.device.read_blocks(self._slot_lba(page_id, slot), self.page_blocks)
+            return Page.from_bytes(image)
+        page, slot = self._arbitrate_slots(page_id)
+        self._valid_slot[page_id] = slot
+        return page
+
+    def _arbitrate_slots(self, page_id: int) -> tuple[Page, int]:
+        """Read both slots in one request and pick the valid, newest image."""
+        raw = self.device.read_blocks(self._page_base(page_id), 2 * self.page_blocks)
+        candidates: list[tuple[int, Page]] = []
+        for slot in (0, 1):
+            image = raw[slot * self.page_size : (slot + 1) * self.page_size]
+            if image.count(0) == len(image):
+                continue  # trimmed slot
+            try:
+                candidate = Page.from_bytes(image)
+            except Exception:
+                continue  # torn write: checksum mismatch
+            if candidate.page_id == page_id:
+                candidates.append((slot, candidate))
+        if not candidates:
+            raise RecoveryError(f"page {page_id}: neither slot holds a valid image")
+        slot, page = max(candidates, key=lambda item: item[1].lsn)
+        return page, slot
+
+    def _release_storage(self, page_id: int) -> None:
+        blocks = 2 * self.page_blocks + self.aux_blocks_per_page
+        self.device.trim(self._page_base(page_id), blocks)
+        self._valid_slot.pop(page_id, None)
+
+    def forget_volatile_state(self) -> None:
+        """Drop the in-memory valid-slot bitmap (host crash simulation)."""
+        self._valid_slot.clear()
+
+
+PAGER_CLASSES = {
+    "journal": JournalPager,
+    "shadow-table": ShadowTablePager,
+    "det-shadow": DeterministicShadowPager,
+}
+
+
+def make_pager(
+    strategy: str,
+    device: BlockDevice,
+    page_size: int,
+    max_pages: int,
+    region_start: int,
+) -> Pager:
+    """Instantiate a pager by strategy name (see :data:`PAGER_CLASSES`)."""
+    try:
+        cls = PAGER_CLASSES[strategy]
+    except KeyError:
+        raise ConfigError(
+            f"unknown atomicity strategy {strategy!r}; "
+            f"choose from {sorted(PAGER_CLASSES)}"
+        ) from None
+    return cls(device, page_size, max_pages, region_start)

@@ -1,0 +1,197 @@
+"""Command-line interface for ad-hoc experiments.
+
+Examples::
+
+    python -m repro run --system bminus --records 40000 --threads 4
+    python -m repro compare --systems rocksdb,bminus,wiredtiger --record-size 32
+    python -m repro speed --workload write --systems bminus,rocksdb --threads 16
+
+The paper-figure reproductions live in ``benchmarks/`` (pytest); this CLI is
+for exploring the parameter space interactively.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.harness import (
+    SYSTEMS,
+    ExperimentSpec,
+    run_speed_experiment,
+    run_wa_experiment,
+)
+from repro.bench.reporting import format_table
+from repro.bench.speed import SpeedModel
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--records", type=int, default=30_000,
+                        help="key-space size (number of records)")
+    parser.add_argument("--record-size", type=int, default=128,
+                        help="record size in bytes, including the 8B key")
+    parser.add_argument("--page-size", type=int, default=8192,
+                        help="B-tree page size in bytes")
+    parser.add_argument("--threads", type=int, default=1,
+                        help="simulated client threads")
+    parser.add_argument("--threshold-t", type=int, default=2048,
+                        help="B- page-modification-logging threshold T")
+    parser.add_argument("--segment-size", type=int, default=128,
+                        help="B- dirty-tracking segment size D_s")
+    parser.add_argument("--cache-fraction", type=float, default=1 / 150,
+                        help="cache size as a fraction of the dataset")
+    parser.add_argument("--steady-ops", type=int, default=None,
+                        help="steady-phase operations (default: one turnover)")
+    parser.add_argument("--log-policy", choices=("commit", "interval"),
+                        default="interval", help="redo-log flush policy")
+    parser.add_argument("--distribution", choices=("uniform", "zipf"),
+                        default="uniform", help="update key distribution")
+    parser.add_argument("--theta", type=float, default=0.99,
+                        help="Zipf skew parameter (with --distribution zipf)")
+    parser.add_argument("--seed", type=int, default=2022)
+
+
+def _spec_from_args(args: argparse.Namespace, system: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        system=system,
+        n_records=args.records,
+        record_size=args.record_size,
+        page_size=args.page_size,
+        n_threads=args.threads,
+        threshold_t=args.threshold_t,
+        segment_size=args.segment_size,
+        cache_fraction=args.cache_fraction,
+        steady_ops=args.steady_ops,
+        log_flush_policy=args.log_policy,
+        seed=args.seed,
+    )
+
+
+def _wa_row(result) -> list:
+    wa = result.wa
+    return [
+        result.spec.system,
+        wa.wa_total,
+        wa.wa_log,
+        wa.wa_pg,
+        wa.wa_e,
+        wa.wa_total_logical,
+        f"{result.logical_usage / 1e6:.1f}MB",
+        f"{result.physical_usage / 1e6:.1f}MB",
+        f"{result.beta:.3f}" if result.beta else "-",
+    ]
+
+
+_WA_HEADERS = ["system", "WA", "WA_log", "WA_pg", "WA_e", "WA(logical)",
+               "logical", "physical", "beta"]
+
+
+def _run_wa(args: argparse.Namespace, system: str):
+    spec = _spec_from_args(args, system)
+    if args.distribution == "uniform":
+        return run_wa_experiment(spec)
+    # Zipfian variant: same phases, skewed steady stream.
+    from repro.bench.harness import ExperimentResult, build_engine
+    from repro.sim.rng import DeterministicRng
+    from repro.workloads.runner import WorkloadRunner
+
+    engine, device, clock = build_engine(spec)
+    rng = DeterministicRng(spec.seed)
+    runner = WorkloadRunner(engine, device, clock, n_threads=spec.n_threads)
+    populate = runner.populate(spec.keyspace, rng.split("populate"))
+    steady = runner.run_zipfian_writes(
+        spec.keyspace, spec.steady_op_count, rng.split("steady"), theta=args.theta)
+    return ExperimentResult(
+        spec=spec, populate=populate, steady=steady, wa=steady.wa(),
+        logical_usage=device.logical_bytes_used,
+        physical_usage=device.physical_bytes_used,
+        beta=engine.beta() if hasattr(engine, "beta") else 0.0,
+        engine=engine, device=device, clock=clock,
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: measure WA for one system."""
+    result = _run_wa(args, args.system)
+    print(format_table(
+        f"Write amplification: {result.spec.label()}",
+        _WA_HEADERS, [_wa_row(result)],
+    ))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """``repro compare``: measure WA for several systems side by side."""
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    rows = []
+    for system in systems:
+        print(f"running {system} ...", file=sys.stderr)
+        rows.append(_wa_row(_run_wa(args, system)))
+    print(format_table(
+        f"Write amplification, {args.record_size}B records, "
+        f"{args.threads} threads, log-flush-per-{args.log_policy}",
+        _WA_HEADERS, rows,
+    ))
+    return 0
+
+
+def cmd_speed(args: argparse.Namespace) -> int:
+    """``repro speed``: estimate simulated-time TPS for several systems."""
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    model = SpeedModel()
+    rows = []
+    for system in systems:
+        print(f"running {system} ...", file=sys.stderr)
+        result, phase = run_speed_experiment(
+            _spec_from_args(args, system), args.workload, args.scan_length)
+        tps = model.tps(phase, result.engine, args.threads)
+        rows.append([system, f"{tps:,.0f}", phase.ops,
+                     f"{phase.elapsed_seconds:.1f}s"])
+    print(format_table(
+        f"Simulated {args.workload} TPS, {args.threads} threads",
+        ["system", "TPS (simulated)", "ops", "workload clock"], rows,
+        note="simulated-time estimate; orderings are meaningful, absolutes "
+             "are not (see README)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="B-minus-tree reproduction: ad-hoc experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="measure WA for one system")
+    run_p.add_argument("--system", choices=SYSTEMS, default="bminus")
+    _add_spec_arguments(run_p)
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="measure WA for several systems")
+    cmp_p.add_argument("--systems", default="rocksdb,wiredtiger,bminus",
+                       help="comma-separated system list")
+    _add_spec_arguments(cmp_p)
+    cmp_p.set_defaults(func=cmd_compare)
+
+    spd_p = sub.add_parser("speed", help="estimate TPS for several systems")
+    spd_p.add_argument("--systems", default="rocksdb,wiredtiger,bminus")
+    spd_p.add_argument("--workload", choices=("write", "read", "scan"),
+                       default="write")
+    spd_p.add_argument("--scan-length", type=int, default=100)
+    _add_spec_arguments(spd_p)
+    spd_p.set_defaults(func=cmd_speed)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""The B⁻-tree: the paper's primary contribution.
+
+Combines the three design techniques on top of the baseline B+-tree engine:
+
+1. deterministic page shadowing (``repro.btree.pager.DeterministicShadowPager``),
+2. localized page modification logging (:class:`repro.core.delta.DeltaShadowPager`),
+3. sparse redo logging (``repro.btree.wal.RedoLog(sparse=True)``).
+
+:class:`repro.core.bminus.BMinusTree` is the public facade a downstream user
+instantiates.
+"""
+
+from repro.core.bminus import BMinusConfig, BMinusTree
+from repro.core.delta import (
+    DELTA_HEADER_SIZE,
+    DeltaBlock,
+    DeltaShadowPager,
+    delta_capacity,
+)
+
+__all__ = [
+    "BMinusConfig",
+    "BMinusTree",
+    "DELTA_HEADER_SIZE",
+    "DeltaBlock",
+    "DeltaShadowPager",
+    "delta_capacity",
+]

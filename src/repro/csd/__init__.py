@@ -1,0 +1,42 @@
+"""Computational storage drive (CSD) simulator.
+
+This package stands in for the ScaleFlux drive used in the paper: a block
+device that transparently compresses every 4KB block with a hardware zlib
+engine directly on the I/O path, maps the resulting variable-length extents
+through an FTL, and reports the amount of post-compression data physically
+written to flash (the quantity the paper's write-amplification numbers are
+computed from).
+"""
+
+from repro.csd.compression import (
+    Compressor,
+    NullCompressor,
+    ZeroRunEstimator,
+    ZlibCompressor,
+)
+from repro.csd.device import (
+    BLOCK_SIZE,
+    BlockDevice,
+    CompressedBlockDevice,
+    PlainSSD,
+)
+from repro.csd.filedevice import FileBackedBlockDevice
+from repro.csd.ftl import FlashTranslationLayer
+from repro.csd.latency import DeviceLatencyModel, HostCostModel
+from repro.csd.stats import DeviceStats
+
+__all__ = [
+    "BLOCK_SIZE",
+    "BlockDevice",
+    "CompressedBlockDevice",
+    "Compressor",
+    "DeviceLatencyModel",
+    "DeviceStats",
+    "FileBackedBlockDevice",
+    "FlashTranslationLayer",
+    "HostCostModel",
+    "NullCompressor",
+    "PlainSSD",
+    "ZeroRunEstimator",
+    "ZlibCompressor",
+]

@@ -1,0 +1,234 @@
+"""Simulated block devices.
+
+:class:`CompressedBlockDevice` models the paper's computational storage drive:
+a 4KB-block device that transparently compresses each block on the write path,
+packs the variable-length results through an FTL, supports TRIM (trimmed or
+never-written blocks read back as zeros and occupy no flash), and can expose a
+logical LBA span larger than its physical capacity (thin provisioning).
+
+Durability semantics mirror what the three B⁻-tree techniques rely on:
+
+* each 4KB block write is atomic (the protocol-level guarantee the paper
+  builds on);
+* writes become durable at the next :meth:`flush` (fsync);
+* :meth:`simulate_crash` discards — or, for torn-write experiments, partially
+  applies — all writes issued since the last flush.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from typing import Callable, Optional
+
+from repro.csd.compression import Compressor, NullCompressor, ZlibCompressor
+from repro.csd.ftl import FlashTranslationLayer, GreedyGcModel
+from repro.csd.stats import DeviceStats
+from repro.errors import AlignmentError, OutOfRangeError
+
+#: I/O unit of the simulated devices, matching the paper's 4KB LBA blocks.
+BLOCK_SIZE = 4096
+
+_ZERO_BLOCK = bytes(BLOCK_SIZE)
+
+#: Sentinel stored in the volatile write buffer to mark an unflushed TRIM.
+_TRIMMED = None
+
+
+class BlockDevice(ABC):
+    """Common interface of the simulated devices.
+
+    All addressing is in whole 4KB blocks; partial-block I/O raises
+    :class:`AlignmentError` by construction of the API (callers pass block
+    counts, never byte offsets).
+    """
+
+    block_size = BLOCK_SIZE
+
+    def __init__(
+        self,
+        num_blocks: int,
+        compressor: Compressor,
+        physical_capacity: Optional[int] = None,
+        gc_model: Optional[GreedyGcModel] = None,
+        mapping_cost: Optional[int] = None,
+    ) -> None:
+        if num_blocks <= 0:
+            raise ValueError("device must have at least one block")
+        self.num_blocks = num_blocks
+        self.compressor = compressor
+        self.stats = DeviceStats()
+        capacity = physical_capacity if physical_capacity is not None else num_blocks * BLOCK_SIZE
+        if mapping_cost is None:
+            self.ftl = FlashTranslationLayer(capacity, self.stats, gc_model)
+        else:
+            self.ftl = FlashTranslationLayer(capacity, self.stats, gc_model, mapping_cost)
+        self._stable: dict[int, bytes] = {}
+        self._pending: dict[int, Optional[bytes]] = {}
+
+    # ------------------------------------------------------------------ I/O
+
+    def write_block(self, lba: int, data: bytes) -> int:
+        """Write one 4KB block atomically.
+
+        Returns the post-compression bytes charged for the write, so callers
+        can attribute physical write volume to traffic categories (the
+        paper's ``W_log`` / ``W_pg`` / ``W_e`` decomposition).
+        """
+        if len(data) != BLOCK_SIZE:
+            raise AlignmentError(
+                f"block write must be exactly {BLOCK_SIZE} bytes, got {len(data)}"
+            )
+        self._check_range(lba, 1)
+        data = bytes(data)
+        self.stats.write_ios += 1
+        self.stats.logical_bytes_written += BLOCK_SIZE
+        physical = self.ftl.record_write(lba, self.compressor.compressed_size(data))
+        self._pending[lba] = data
+        return physical
+
+    def write_blocks(self, lba: int, data: bytes) -> int:
+        """Write a contiguous run of blocks; each block is individually atomic.
+
+        Returns the total post-compression bytes charged.
+        """
+        if len(data) % BLOCK_SIZE != 0:
+            raise AlignmentError(
+                f"multi-block write must be a multiple of {BLOCK_SIZE} bytes"
+            )
+        count = len(data) // BLOCK_SIZE
+        self._check_range(lba, count)
+        self.stats.write_ios += 1
+        physical = 0
+        for i in range(count):
+            chunk = bytes(data[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE])
+            self.stats.logical_bytes_written += BLOCK_SIZE
+            physical += self.ftl.record_write(
+                lba + i, self.compressor.compressed_size(chunk)
+            )
+            self._pending[lba + i] = chunk
+        return physical
+
+    def read_block(self, lba: int) -> bytes:
+        """Read one 4KB block; unwritten or trimmed blocks read as zeros."""
+        self._check_range(lba, 1)
+        self.stats.read_ios += 1
+        return self._fetch(lba)
+
+    def read_blocks(self, lba: int, count: int) -> bytes:
+        """Read ``count`` contiguous blocks as one request."""
+        if count <= 0:
+            raise ValueError("read count must be positive")
+        self._check_range(lba, count)
+        self.stats.read_ios += 1
+        return b"".join(self._fetch(lba + i) for i in range(count))
+
+    def trim(self, lba: int, count: int = 1) -> None:
+        """Deallocate ``count`` blocks; they read back as zeros afterwards."""
+        if count <= 0:
+            raise ValueError("trim count must be positive")
+        self._check_range(lba, count)
+        self.stats.trim_ios += 1
+        self.stats.bytes_trimmed += count * BLOCK_SIZE
+        for i in range(count):
+            self.ftl.record_trim(lba + i)
+            self._pending[lba + i] = _TRIMMED
+
+    def flush(self) -> None:
+        """Durability barrier: make all buffered writes/TRIMs crash-safe."""
+        self.stats.flush_ios += 1
+        for lba, data in self._pending.items():
+            if data is _TRIMMED:
+                self._stable.pop(lba, None)
+            elif data == _ZERO_BLOCK:
+                self._stable.pop(lba, None)
+            else:
+                self._stable[lba] = data
+        self._pending.clear()
+
+    # ------------------------------------------------------- crash testing
+
+    def simulate_crash(
+        self, survives: Optional[Callable[[int], bool]] = None
+    ) -> list[int]:
+        """Drop un-flushed writes, modelling a power failure.
+
+        ``survives(lba)`` may let individual pending 4KB block writes reach
+        stable storage anyway (each block is atomic, but a multi-block write
+        can land partially — this is exactly the torn page write the paper's
+        shadowing defends against).  Returns the LBAs whose pending update
+        was lost, and leaves the device ready for recovery reads.
+
+        Note: FTL live-byte accounting is not rolled back for lost writes;
+        crash simulations exercise recovery correctness, not space accounting.
+        """
+        lost: list[int] = []
+        for lba, data in list(self._pending.items()):
+            if survives is not None and survives(lba):
+                if data is _TRIMMED or data == _ZERO_BLOCK:
+                    self._stable.pop(lba, None)
+                else:
+                    self._stable[lba] = data
+            else:
+                lost.append(lba)
+        self._pending.clear()
+        return lost
+
+    # --------------------------------------------------------- accounting
+
+    @property
+    def physical_bytes_used(self) -> int:
+        """Live post-compression flash usage (the paper's "physical usage")."""
+        return self.ftl.live_bytes
+
+    @property
+    def logical_bytes_used(self) -> int:
+        """Mapped LBA span in bytes (the paper's "logical usage")."""
+        return self.ftl.mapped_lbas * BLOCK_SIZE
+
+    # ----------------------------------------------------------- internals
+
+    def _fetch(self, lba: int) -> bytes:
+        self.stats.logical_bytes_read += BLOCK_SIZE
+        # The drive internally fetches only the live compressed extent; a
+        # trimmed/never-written block costs (almost) nothing to "read".
+        self.stats.physical_bytes_read += self.ftl.extent_size(lba)
+        if lba in self._pending:
+            data = self._pending[lba]
+            return _ZERO_BLOCK if data is _TRIMMED else data
+        return self._stable.get(lba, _ZERO_BLOCK)
+
+    def _check_range(self, lba: int, count: int) -> None:
+        if lba < 0 or lba + count > self.num_blocks:
+            raise OutOfRangeError(
+                f"I/O of {count} block(s) at LBA {lba} exceeds device span "
+                f"of {self.num_blocks} blocks"
+            )
+
+
+class CompressedBlockDevice(BlockDevice):
+    """The computational storage drive: transparent zlib per 4KB block."""
+
+    def __init__(
+        self,
+        num_blocks: int,
+        compressor: Optional[Compressor] = None,
+        physical_capacity: Optional[int] = None,
+        gc_model: Optional[GreedyGcModel] = None,
+    ) -> None:
+        super().__init__(
+            num_blocks,
+            compressor if compressor is not None else ZlibCompressor(),
+            physical_capacity,
+            gc_model,
+        )
+
+
+class PlainSSD(BlockDevice):
+    """A conventional SSD: no in-storage compression, physical == logical.
+
+    A plain SSD maps fixed-size 4KB blocks, so there is no variable-length
+    extent metadata to charge per write (``mapping_cost=0``).
+    """
+
+    def __init__(self, num_blocks: int) -> None:
+        super().__init__(num_blocks, NullCompressor(), mapping_cost=0)

@@ -1,0 +1,123 @@
+"""A file-backed variant of the compressing device.
+
+:class:`FileBackedBlockDevice` keeps stable block contents in a file on the
+host filesystem instead of a Python dict, so simulated stores larger than
+RAM are possible and device state survives process restarts (open the same
+path again).  Semantics — per-4KB write atomicity, the volatile window
+between writes and :meth:`flush`, TRIM reading back as zeros, compression
+accounting — are identical to :class:`~repro.csd.device.CompressedBlockDevice`;
+only the stable-storage medium differs.
+
+Note that the FTL accounting (physical usage) is in-memory either way: a
+reopened device rebuilds logical contents from the file but starts its
+smart-log counters from zero, like a real drive that was power-cycled
+keeps its data but an observer re-baselines its statistics.  Reopening scans
+the file to rebuild the FTL's live-extent map.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.csd.compression import Compressor, ZlibCompressor
+from repro.csd.device import BLOCK_SIZE, BlockDevice, _TRIMMED, _ZERO_BLOCK
+from repro.csd.ftl import GreedyGcModel
+
+
+class FileBackedBlockDevice(BlockDevice):
+    """Compressing block device whose stable storage is a host file."""
+
+    def __init__(
+        self,
+        path: str,
+        num_blocks: int,
+        compressor: Optional[Compressor] = None,
+        physical_capacity: Optional[int] = None,
+        gc_model: Optional[GreedyGcModel] = None,
+    ) -> None:
+        super().__init__(
+            num_blocks,
+            compressor if compressor is not None else ZlibCompressor(),
+            physical_capacity,
+            gc_model,
+        )
+        self.path = path
+        preexisting = os.path.exists(path)
+        self._file = open(path, "r+b" if preexisting else "w+b")
+        if preexisting:
+            self._rebuild_ftl()
+        else:
+            self._file.truncate(num_blocks * BLOCK_SIZE)
+
+    def close(self) -> None:
+        """Flush pending writes and close the backing file."""
+        self.flush()
+        self._file.close()
+
+    def __enter__(self) -> "FileBackedBlockDevice":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # --------------------------------------------------- storage overrides
+
+    def flush(self) -> None:
+        """Durability barrier: push buffered writes/TRIMs into the file."""
+        self.stats.flush_ios += 1
+        for lba, data in self._pending.items():
+            self._file.seek(lba * BLOCK_SIZE)
+            if data is _TRIMMED:
+                self._file.write(_ZERO_BLOCK)
+            else:
+                self._file.write(data)
+        self._file.flush()
+        self._pending.clear()
+
+    def simulate_crash(self, survives=None) -> list[int]:
+        """Drop (or selectively apply) un-flushed writes; see the base class."""
+        lost: list[int] = []
+        for lba, data in list(self._pending.items()):
+            if survives is not None and survives(lba):
+                self._file.seek(lba * BLOCK_SIZE)
+                self._file.write(_ZERO_BLOCK if data is _TRIMMED else data)
+            else:
+                lost.append(lba)
+        self._file.flush()
+        self._pending.clear()
+        return lost
+
+    def _fetch(self, lba: int) -> bytes:
+        self.stats.logical_bytes_read += BLOCK_SIZE
+        self.stats.physical_bytes_read += self.ftl.extent_size(lba)
+        if lba in self._pending:
+            data = self._pending[lba]
+            return _ZERO_BLOCK if data is _TRIMMED else data
+        self._file.seek(lba * BLOCK_SIZE)
+        raw = self._file.read(BLOCK_SIZE)
+        if len(raw) < BLOCK_SIZE:  # sparse tail never written
+            raw += bytes(BLOCK_SIZE - len(raw))
+        return raw
+
+    # ------------------------------------------------------------- reopen
+
+    def _rebuild_ftl(self) -> None:
+        """Re-derive the live-extent map from the file's contents.
+
+        Physical *usage* must reflect what is live on flash; the write
+        counters (history) restart from zero, so callers measuring a
+        workload snapshot around it as usual.
+        """
+        self._file.seek(0, os.SEEK_END)
+        file_blocks = self._file.tell() // BLOCK_SIZE
+        self._file.seek(0)
+        for lba in range(min(file_blocks, self.num_blocks)):
+            raw = self._file.read(BLOCK_SIZE)
+            if len(raw) < BLOCK_SIZE or raw == _ZERO_BLOCK:
+                continue
+            self.ftl.record_write(lba, self.compressor.compressed_size(raw))
+        # Rebuilding is bookkeeping, not I/O history: reset the counters.
+        self.stats.physical_bytes_written = 0
+        self.stats.logical_bytes_written = 0
+        self.stats.write_ios = 0

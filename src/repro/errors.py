@@ -1,0 +1,76 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish device-level, tree-level, and log-level faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class DeviceError(ReproError):
+    """Base class for block-device failures."""
+
+
+class OutOfRangeError(DeviceError):
+    """An I/O request addressed an LBA outside the device's logical span."""
+
+
+class AlignmentError(DeviceError):
+    """An I/O request was not aligned to the device block size."""
+
+
+class CapacityError(DeviceError):
+    """The device ran out of physical capacity (thin provisioning overcommit)."""
+
+
+class TornWriteError(DeviceError):
+    """A block was only partially persisted before a simulated crash."""
+
+
+class ChecksumError(ReproError):
+    """A page failed checksum verification when loaded from storage."""
+
+
+class PageError(ReproError):
+    """Base class for page-format violations."""
+
+
+class PageFullError(PageError):
+    """A record does not fit into the target page; the caller must split."""
+
+
+class PageFormatError(PageError):
+    """A page image is structurally invalid (bad magic, offsets, or slots)."""
+
+
+class TreeError(ReproError):
+    """Base class for B+-tree structural failures."""
+
+
+class KeyNotFoundError(TreeError, KeyError):
+    """A lookup or delete referenced a key that is not present."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not reconstruct a consistent state."""
+
+
+class WalError(ReproError):
+    """The write-ahead log is corrupt or was used incorrectly."""
+
+
+class LsmError(ReproError):
+    """Base class for LSM-tree failures."""
+
+
+class CompactionError(LsmError):
+    """A compaction produced an inconsistent level layout."""
+
+
+class ConfigError(ReproError):
+    """An engine or experiment was configured with invalid parameters."""

@@ -1,0 +1,73 @@
+"""Bloom filter, RocksDB-style (double hashing, ~10 bits/key by default).
+
+The paper configures RocksDB with a 10-bits-per-record bloom filter, which is
+what "almost completely obviates the read amplification problem" for point
+reads (§4.5).  The filter here uses Kirsch-Mitzenmacher double hashing over a
+64-bit FNV-1a base hash — the same construction RocksDB's legacy bloom uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _fnv1a_64(data: bytes) -> int:
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class BloomFilter:
+    """A fixed-size bloom filter sized for ``expected_keys``."""
+
+    def __init__(self, expected_keys: int, bits_per_key: float = 10.0) -> None:
+        if expected_keys < 0:
+            raise ValueError("expected_keys must be non-negative")
+        if bits_per_key <= 0:
+            raise ValueError("bits_per_key must be positive")
+        self.bits_per_key = bits_per_key
+        self.num_bits = max(64, int(expected_keys * bits_per_key))
+        # Optimal probe count k = ln(2) * bits/key, clamped like RocksDB.
+        self.num_probes = max(1, min(30, int(round(bits_per_key * math.log(2)))))
+        self._bits = bytearray((self.num_bits + 7) // 8)
+
+    def add(self, key: bytes) -> None:
+        h = _fnv1a_64(key)
+        delta = ((h >> 33) | (h << 31)) & 0xFFFFFFFFFFFFFFFF
+        for _ in range(self.num_probes):
+            pos = h % self.num_bits
+            self._bits[pos // 8] |= 1 << (pos % 8)
+            h = (h + delta) & 0xFFFFFFFFFFFFFFFF
+
+    def may_contain(self, key: bytes) -> bool:
+        """False means definitely absent; True means probably present."""
+        h = _fnv1a_64(key)
+        delta = ((h >> 33) | (h << 31)) & 0xFFFFFFFFFFFFFFFF
+        for _ in range(self.num_probes):
+            pos = h % self.num_bits
+            if not self._bits[pos // 8] & (1 << (pos % 8)):
+                return False
+            h = (h + delta) & 0xFFFFFFFFFFFFFFFF
+        return True
+
+    # --------------------------------------------------------- serialization
+
+    def to_bytes(self) -> bytes:
+        header = self.num_bits.to_bytes(8, "little") + self.num_probes.to_bytes(2, "little")
+        return header + bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomFilter":
+        num_bits = int.from_bytes(data[0:8], "little")
+        num_probes = int.from_bytes(data[8:10], "little")
+        filt = cls.__new__(cls)
+        filt.bits_per_key = 0.0  # unknown after deserialization
+        filt.num_bits = num_bits
+        filt.num_probes = num_probes
+        filt._bits = bytearray(data[10 : 10 + (num_bits + 7) // 8])
+        return filt
+
+    def serialized_size(self) -> int:
+        return 10 + len(self._bits)

@@ -1,0 +1,79 @@
+"""Compaction execution: k-way merge of sorted runs into the next level.
+
+Duplicate keys resolve by table sequence number (newer wins); tombstones are
+carried forward unless the output level is the deepest occupied level, where
+they can be dropped for good — the standard leveled-compaction rules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator, Optional
+
+from repro.lsm.sstable import SSTableReader, SSTableWriter
+
+
+def merge_tables(
+    inputs: list[SSTableReader],
+    drop_tombstones: bool,
+) -> Iterator[tuple[bytes, Optional[bytes]]]:
+    """Merge input tables into one deduplicated sorted stream.
+
+    ``inputs`` may overlap arbitrarily; for equal keys the record from the
+    table with the highest ``seq`` wins.
+    """
+    heap: list[tuple[bytes, int, int, Optional[bytes]]] = []
+    iters = []
+    for idx, reader in enumerate(inputs):
+        iters.append(reader.iter_all())
+        first = next(iters[idx], None)
+        if first is not None:
+            # Negative seq: for equal keys the newest table pops first.
+            heapq.heappush(heap, (first[0], -reader.meta.seq, idx, first[1]))
+    last_key: Optional[bytes] = None
+    while heap:
+        key, _, idx, value = heapq.heappop(heap)
+        nxt = next(iters[idx], None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt[0], heap_seq(inputs[idx]), idx, nxt[1]))
+        if key == last_key:
+            continue  # an older duplicate
+        last_key = key
+        if value is None and drop_tombstones:
+            continue
+        yield key, value
+
+
+def heap_seq(reader: SSTableReader) -> int:
+    """Heap priority of a table: newest (highest seq) pops first."""
+    return -reader.meta.seq
+
+
+def write_merged(
+    stream: Iterator[tuple[bytes, Optional[bytes]]],
+    make_writer: Callable[[], SSTableWriter],
+    table_target_bytes: int,
+) -> tuple[list, int, int]:
+    """Write a merged stream into size-capped output tables.
+
+    Returns ``(metas, logical_bytes, physical_bytes)``.
+    """
+    metas = []
+    logical = physical = 0
+    writer: Optional[SSTableWriter] = None
+    for key, value in stream:
+        if writer is None:
+            writer = make_writer()
+        writer.add(key, value)
+        if writer.estimated_bytes >= table_target_bytes:
+            meta, lo, ph = writer.finish()
+            metas.append(meta)
+            logical += lo
+            physical += ph
+            writer = None
+    if writer is not None and writer.count:
+        meta, lo, ph = writer.finish()
+        metas.append(meta)
+        logical += lo
+        physical += ph
+    return metas, logical, physical

@@ -1,0 +1,370 @@
+"""The LSM-tree engine facade (RocksDB stand-in).
+
+Device layout::
+
+    block 0 ..                : manifest copies A and B
+    next ..                   : WAL ring
+    rest                      : SSTable extent pool
+
+Writes go WAL -> memtable; a full memtable flushes to a level-0 table;
+leveled compaction keeps each level under its exponential size target.
+Reads consult the memtable, then level-0 tables newest-first, then one table
+per deeper level, with bloom filters suppressing pointless data-block reads —
+the same read path the paper credits for RocksDB's good point-read TPS.
+
+Write-traffic accounting maps onto the paper's categories: WAL bytes are
+``W_log``; memtable-flush plus compaction bytes are the LSM's equivalent of
+``W_pg``; manifest writes are ``W_e``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.btree.wal import LogOp, LogPosition, LogRecord, RedoLog
+from repro.csd.device import BlockDevice
+from repro.errors import ConfigError, KeyNotFoundError, LsmError
+from repro.lsm.compaction import merge_tables, write_merged
+from repro.lsm.manifest import Manifest, ManifestEntry
+from repro.lsm.memtable import MemTable
+from repro.lsm.sstable import ExtentAllocator, SSTableReader, SSTableWriter
+from repro.lsm.version import VersionSet
+from repro.metrics.counters import TrafficSnapshot
+from repro.sim.clock import SimClock
+
+
+@dataclass
+class LSMConfig:
+    """LSM-tree configuration; defaults are the paper's RocksDB setup scaled
+    down ~1024x (64MB memtable -> 64KB, 256MB L1 -> 256KB, ratio 10)."""
+
+    memtable_bytes: int = 64 << 10
+    l0_compaction_trigger: int = 4
+    level_base_bytes: int = 256 << 10
+    level_size_ratio: float = 10.0
+    max_levels: int = 7
+    table_target_bytes: int = 64 << 10
+    bits_per_key: float = 10.0
+    wal_mode: str = "packed"  # packed | none (RocksDB's WAL packs records)
+    log_flush_policy: str = "interval"  # commit | interval
+    log_flush_interval: float = 60.0
+    log_blocks: int = 4096
+    manifest_blocks: int = 8  # per copy
+
+    def validate(self) -> None:
+        if self.memtable_bytes <= 0 or self.table_target_bytes <= 0:
+            raise ConfigError("memtable/table sizes must be positive")
+        if self.l0_compaction_trigger < 1:
+            raise ConfigError("l0_compaction_trigger must be >= 1")
+        if self.level_size_ratio <= 1:
+            raise ConfigError("level_size_ratio must exceed 1")
+        if self.wal_mode not in ("packed", "none"):
+            raise ConfigError(f"unknown wal_mode {self.wal_mode!r}")
+        if self.log_flush_policy not in ("commit", "interval"):
+            raise ConfigError(f"unknown log_flush_policy {self.log_flush_policy!r}")
+
+
+class LSMEngine:
+    """A crash-safe LSM-tree key-value store."""
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        config: Optional[LSMConfig] = None,
+        clock: Optional[SimClock] = None,
+        _recovering: bool = False,
+    ) -> None:
+        self.config = config or LSMConfig()
+        self.config.validate()
+        self.device = device
+        self.clock = clock or SimClock()
+        self.manifest = Manifest(device, 0, self.config.manifest_blocks)
+        log_start = self.manifest.total_blocks()
+        self.wal: Optional[RedoLog] = None
+        if self.config.wal_mode != "none":
+            self.wal = RedoLog(device, log_start, self.config.log_blocks, sparse=False)
+        pool_start = log_start + self.config.log_blocks
+        if pool_start >= device.num_blocks:
+            raise ConfigError("device too small for manifest + log regions")
+        self.allocator = ExtentAllocator(pool_start, device.num_blocks - pool_start)
+        self.versions = VersionSet(self.config.max_levels)
+        self.memtable = MemTable()
+        self._next_table_id = 0
+        self._next_seq = 1
+        self._txid = 0
+        self._lsn = 0
+        self._log_pos = self.wal.position() if self.wal else LogPosition(0, 1)
+        self.user_bytes = 0
+        self.operations = 0
+        self.flush_logical = 0
+        self.flush_physical = 0
+        self.compact_logical = 0
+        self.compact_physical = 0
+        self.compactions_run = 0
+        self.memtable_flushes = 0
+        self.clock.set_alarm("log_flush", self.config.log_flush_interval)
+        if not _recovering:
+            self._persist_manifest()
+
+    # ------------------------------------------------------------ open/close
+
+    @classmethod
+    def open(
+        cls,
+        device: BlockDevice,
+        config: Optional[LSMConfig] = None,
+        clock: Optional[SimClock] = None,
+    ) -> "LSMEngine":
+        """Open an existing store (crash recovery), or create a fresh one."""
+        engine = cls(device, config, clock, _recovering=True)
+        state = engine.manifest.load()
+        if state is None:
+            engine._persist_manifest()
+            return engine
+        engine._next_table_id = state.next_table_id
+        engine._next_seq = state.next_seq
+        for entry in state.entries:
+            reader = SSTableReader.open(device, entry.start_block, entry.num_blocks)
+            engine.allocator.mark_used(entry.start_block, entry.num_blocks)
+            engine.versions.add_table(entry.level, reader)
+        if engine.wal is not None:
+            records, end = engine.wal.scan(state.log_pos)
+            for record in records:
+                engine._lsn = max(engine._lsn, record.lsn)
+                if record.op == LogOp.PUT:
+                    engine.memtable.put(record.key, record.value)
+                elif record.op == LogOp.DELETE:
+                    engine.memtable.delete(record.key)
+            engine.wal.reset_to(end)
+            engine._log_pos = state.log_pos
+        return engine
+
+    def close(self) -> None:
+        """Flush the WAL and persist the manifest (memtable is replayable)."""
+        if self.wal is not None:
+            self.wal.flush()
+        self._persist_manifest()
+
+    # --------------------------------------------------------------- KV API
+
+    def put(self, key: bytes, value: bytes) -> None:
+        if value is None:
+            raise LsmError("None is reserved for tombstones; use delete()")
+        self._log(LogOp.PUT, key, value)
+        self.memtable.put(key, value)
+        self.user_bytes += len(key) + len(value)
+        self.operations += 1
+        self._maybe_flush_memtable()
+
+    def delete(self, key: bytes) -> None:
+        """Record a deletion (blind delete, RocksDB semantics)."""
+        self._log(LogOp.DELETE, key, b"")
+        self.memtable.delete(key)
+        self.user_bytes += len(key)
+        self.operations += 1
+        self._maybe_flush_memtable()
+
+    def delete_checked(self, key: bytes) -> None:
+        """Delete that raises if the key is absent (B-tree-compatible API)."""
+        if self.get(key) is None:
+            raise KeyNotFoundError(repr(key))
+        self.delete(key)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        found, value = self.memtable.get(key)
+        if found:
+            return value
+        for reader in self.versions.tables_for_get(key):
+            found, value = reader.get(key)
+            if found:
+                return value
+        return None
+
+    def scan(self, start_key: bytes, count: int) -> list[tuple[bytes, bytes]]:
+        """Ordered scan over the merged view of memtable + every level."""
+        out = []
+        for key, value in self._merged_from(start_key):
+            if value is not None:
+                out.append((key, value))
+                if len(out) >= count:
+                    break
+        return out
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        for key, value in self._merged_from(b""):
+            if value is not None:
+                yield key, value
+
+    def _merged_from(self, start_key: bytes) -> Iterator[tuple[bytes, Optional[bytes]]]:
+        """Newest-wins merge of all sorted sources, tombstones included."""
+        sources: list[tuple[int, Iterator]] = [
+            (1 << 62, self.memtable.items_from(start_key))
+        ]
+        for level, tables in enumerate(self.versions.levels):
+            for reader in tables:
+                if reader.meta.max_key >= start_key:
+                    sources.append((reader.meta.seq, reader.iter_from(start_key)))
+        heap: list[tuple[bytes, int, int]] = []
+        iters = []
+        values: list[Optional[bytes]] = []
+        for idx, (seq, iterator) in enumerate(sources):
+            iters.append(iterator)
+            values.append(None)
+            first = next(iterator, None)
+            if first is not None:
+                values[idx] = first[1]
+                heapq.heappush(heap, (first[0], -seq, idx))
+        last_key = None
+        while heap:
+            key, _, idx = heapq.heappop(heap)
+            value = values[idx]
+            nxt = next(iters[idx], None)
+            if nxt is not None:
+                values[idx] = nxt[1]
+                heapq.heappush(heap, (nxt[0], -sources[idx][0], idx))
+            if key == last_key:
+                continue
+            last_key = key
+            yield key, value
+
+    # ---------------------------------------------------------- transactions
+
+    def commit(self) -> None:
+        """Group-commit point (flushes the WAL under the commit policy)."""
+        self._txid += 1
+        if self.wal is not None and self.config.log_flush_policy == "commit":
+            self.wal.flush()
+
+    def tick(self) -> None:
+        """Clock-driven background work (periodic WAL flush)."""
+        if (
+            self.wal is not None
+            and self.config.log_flush_policy == "interval"
+            and self.clock.alarm_due("log_flush")
+        ):
+            self.wal.flush()
+            self.clock.set_alarm("log_flush", self.config.log_flush_interval)
+
+    # ---------------------------------------------------------- flush/compact
+
+    def _log(self, op: LogOp, key: bytes, value: bytes) -> None:
+        if self.wal is None:
+            return
+        self._lsn += 1
+        self.wal.append(LogRecord(self._lsn, self._txid, op, key, value))
+
+    def _maybe_flush_memtable(self) -> None:
+        if self.memtable.approximate_bytes < self.config.memtable_bytes:
+            # Guard the WAL ring exactly like the B-tree engine does.
+            if (
+                self.wal is not None
+                and self.wal.blocks_since(self._log_pos) > self.config.log_blocks // 2
+            ):
+                self.flush_memtable()
+            return
+        self.flush_memtable()
+
+    def flush_memtable(self) -> None:
+        """Write the memtable as a level-0 table and run due compactions."""
+        if len(self.memtable) == 0:
+            return
+        if self.wal is not None:
+            self.wal.flush()  # everything in the memtable must be durable
+        writer = self._make_writer(expected_keys=len(self.memtable))
+        for key, value in self.memtable.items():
+            writer.add(key, value)
+        meta, logical, physical = writer.finish()
+        self.flush_logical += logical
+        self.flush_physical += physical
+        self.versions.add_table(0, SSTableReader.open(self.device, meta.start_block, meta.num_blocks))
+        self.memtable = MemTable(seed=self._next_seq)
+        self.memtable_flushes += 1
+        if self.wal is not None:
+            self._log_pos = self.wal.position()
+        self._run_compactions()
+        self._persist_manifest()
+
+    def _make_writer(self, expected_keys: int, seq: Optional[int] = None) -> SSTableWriter:
+        """New table writer.
+
+        ``seq`` defaults to a fresh, highest-yet sequence (memtable flushes).
+        Compaction outputs must instead inherit ``max(input seqs)`` — their
+        data is at most as new as their newest input, and a fresh sequence
+        would let old merged data shadow newer level-0 records in merges.
+        """
+        table_id = self._next_table_id
+        self._next_table_id += 1
+        if seq is None:
+            seq = self._next_seq
+            self._next_seq += 1
+        return SSTableWriter(
+            self.device, self.allocator, table_id, seq,
+            expected_keys, self.config.bits_per_key,
+        )
+
+    def _run_compactions(self) -> None:
+        while True:
+            job = self.versions.pick_compaction(
+                self.config.l0_compaction_trigger,
+                self.config.level_base_bytes,
+                self.config.level_size_ratio,
+            )
+            if job is None:
+                return
+            self._execute(job)
+
+    def _execute(self, job) -> None:
+        inputs = job.inputs + job.overlaps
+        bottom = job.output_level >= self.versions.deepest_nonempty_level()
+        expected = sum(r.meta.n_records for r in inputs)
+        output_seq = max(r.meta.seq for r in inputs)
+        stream = merge_tables(inputs, drop_tombstones=bottom)
+        metas, logical, physical = write_merged(
+            stream,
+            lambda: self._make_writer(max(1, expected), seq=output_seq),
+            self.config.table_target_bytes,
+        )
+        self.compact_logical += logical
+        self.compact_physical += physical
+        self.compactions_run += 1
+        self.versions.remove_tables(job.level, job.inputs)
+        self.versions.remove_tables(job.output_level, job.overlaps)
+        for meta in metas:
+            self.versions.add_table(
+                job.output_level,
+                SSTableReader.open(self.device, meta.start_block, meta.num_blocks),
+            )
+        for reader in inputs:
+            self.device.trim(reader.meta.start_block, reader.meta.num_blocks)
+            self.allocator.free(reader.meta.start_block, reader.meta.num_blocks)
+
+    def _persist_manifest(self) -> None:
+        entries = [
+            ManifestEntry(
+                level, r.meta.table_id, r.meta.seq,
+                r.meta.start_block, r.meta.num_blocks,
+            )
+            for level, tables in enumerate(self.versions.levels)
+            for r in tables
+        ]
+        self.manifest.persist(entries, self._next_table_id, self._next_seq, self._log_pos)
+
+    # ------------------------------------------------------------ accounting
+
+    def traffic_snapshot(self) -> TrafficSnapshot:
+        return TrafficSnapshot(
+            user_bytes=self.user_bytes,
+            log_logical=self.wal.stats.logical_bytes if self.wal else 0,
+            log_physical=self.wal.stats.physical_bytes if self.wal else 0,
+            page_logical=self.flush_logical + self.compact_logical,
+            page_physical=self.flush_physical + self.compact_physical,
+            extra_logical=self.manifest.logical_bytes,
+            extra_physical=self.manifest.physical_bytes,
+            operations=self.operations,
+        )
+
+    def level_shape(self) -> list[int]:
+        """Bytes per level (diagnostics / level-count assertions)."""
+        return [self.versions.level_bytes(level) for level in range(self.config.max_levels)]

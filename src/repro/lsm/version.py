@@ -1,0 +1,146 @@
+"""Level bookkeeping (the LSM-tree's version set).
+
+Level 0 holds whole-memtable flushes whose key ranges overlap; levels >= 1
+hold non-overlapping sorted runs.  Compaction scheduling follows leveled
+(RocksDB-default) rules: L0 compacts on file count, deeper levels on byte
+size against an exponentially growing target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.csd.device import BLOCK_SIZE
+from repro.errors import CompactionError
+from repro.lsm.sstable import SSTableReader
+
+
+@dataclass
+class CompactionJob:
+    """Inputs of one compaction: tables at ``level`` merging into ``level+1``."""
+
+    level: int
+    inputs: list[SSTableReader]
+    overlaps: list[SSTableReader]
+
+    @property
+    def output_level(self) -> int:
+        return self.level + 1
+
+
+class VersionSet:
+    """The live set of tables, organised by level."""
+
+    def __init__(self, max_levels: int = 7) -> None:
+        if max_levels < 2:
+            raise CompactionError("an LSM-tree needs at least 2 levels")
+        self.max_levels = max_levels
+        self.levels: list[list[SSTableReader]] = [[] for _ in range(max_levels)]
+        self._compaction_cursor: dict[int, bytes] = {}
+
+    # ------------------------------------------------------------ mutation
+
+    def add_table(self, level: int, reader: SSTableReader) -> None:
+        self._check_level(level)
+        self.levels[level].append(reader)
+        if level == 0:
+            # Newest last; get() walks newest-first.
+            self.levels[0].sort(key=lambda r: r.meta.seq)
+        else:
+            self.levels[level].sort(key=lambda r: r.meta.min_key)
+            self._check_disjoint(level)
+
+    def remove_tables(self, level: int, readers: list[SSTableReader]) -> None:
+        self._check_level(level)
+        victims = {id(r) for r in readers}
+        before = len(self.levels[level])
+        self.levels[level] = [r for r in self.levels[level] if id(r) not in victims]
+        if before - len(self.levels[level]) != len(readers):
+            raise CompactionError(f"some tables to remove were not at level {level}")
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < self.max_levels:
+            raise CompactionError(f"level {level} out of range")
+
+    def _check_disjoint(self, level: int) -> None:
+        tables = self.levels[level]
+        for left, right in zip(tables, tables[1:]):
+            if left.meta.max_key >= right.meta.min_key:
+                raise CompactionError(
+                    f"level {level} tables overlap: "
+                    f"{left.meta.table_id} and {right.meta.table_id}"
+                )
+
+    # ------------------------------------------------------------- queries
+
+    def level_bytes(self, level: int) -> int:
+        return sum(r.meta.num_blocks for r in self.levels[level]) * BLOCK_SIZE
+
+    def total_tables(self) -> int:
+        return sum(len(tables) for tables in self.levels)
+
+    def num_nonempty_levels(self) -> int:
+        return sum(1 for tables in self.levels if tables)
+
+    def deepest_nonempty_level(self) -> int:
+        for level in range(self.max_levels - 1, -1, -1):
+            if self.levels[level]:
+                return level
+        return 0
+
+    def overlapping(self, level: int, min_key: bytes, max_key: bytes) -> list[SSTableReader]:
+        self._check_level(level)
+        return [
+            r for r in self.levels[level]
+            if not (r.meta.max_key < min_key or r.meta.min_key > max_key)
+        ]
+
+    def tables_for_get(self, key: bytes) -> list[SSTableReader]:
+        """Tables to probe for ``key``, newest first."""
+        candidates: list[SSTableReader] = []
+        for reader in reversed(self.levels[0]):  # newest L0 first
+            if reader.meta.min_key <= key <= reader.meta.max_key:
+                candidates.append(reader)
+        for level in range(1, self.max_levels):
+            for reader in self.levels[level]:
+                if reader.meta.min_key <= key <= reader.meta.max_key:
+                    candidates.append(reader)
+                    break  # non-overlapping: at most one per level
+        return candidates
+
+    # ---------------------------------------------------------- scheduling
+
+    def pick_compaction(
+        self,
+        l0_trigger: int,
+        level_base_bytes: int,
+        size_ratio: float,
+    ) -> Optional[CompactionJob]:
+        """Choose the next compaction, or None if the shape is healthy."""
+        if len(self.levels[0]) >= l0_trigger:
+            inputs = list(self.levels[0])
+            min_key = min(r.meta.min_key for r in inputs)
+            max_key = max(r.meta.max_key for r in inputs)
+            return CompactionJob(0, inputs, self.overlapping(1, min_key, max_key))
+        for level in range(1, self.max_levels - 1):
+            target = level_base_bytes * (size_ratio ** (level - 1))
+            if self.level_bytes(level) > target:
+                victim = self._round_robin_victim(level)
+                return CompactionJob(
+                    level, [victim],
+                    self.overlapping(level + 1, victim.meta.min_key, victim.meta.max_key),
+                )
+        return None
+
+    def _round_robin_victim(self, level: int) -> SSTableReader:
+        """Rotate through the level's key space so compaction work spreads out
+        (RocksDB's default victim heuristic)."""
+        cursor = self._compaction_cursor.get(level, b"")
+        for reader in self.levels[level]:
+            if reader.meta.min_key > cursor:
+                self._compaction_cursor[level] = reader.meta.max_key
+                return reader
+        reader = self.levels[level][0]
+        self._compaction_cursor[level] = reader.meta.max_key
+        return reader

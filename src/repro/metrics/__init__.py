@@ -1,0 +1,5 @@
+"""Write-amplification accounting (the paper's Eq. (1)/(2) decomposition)."""
+
+from repro.metrics.counters import TrafficSnapshot, WaReport, compute_wa
+
+__all__ = ["TrafficSnapshot", "WaReport", "compute_wa"]

@@ -1,0 +1,6 @@
+"""Simulation utilities: deterministic clock and RNG helpers."""
+
+from repro.sim.clock import SimClock
+from repro.sim.rng import DeterministicRng, derive_seed
+
+__all__ = ["SimClock", "DeterministicRng", "derive_seed"]

@@ -1,0 +1,34 @@
+"""Workload generation and execution (the paper's sysbench-style driver)."""
+
+from repro.workloads.generator import (
+    Op,
+    OpKind,
+    mixed_ops,
+    point_read_ops,
+    random_write_ops,
+    range_scan_ops,
+)
+from repro.workloads.records import KeySpace, encode_key, record_value
+from repro.workloads.runner import PhaseStats, WorkloadRunner
+from repro.workloads.zipf import (
+    ZipfGenerator,
+    scattered_zipfian_write_ops,
+    zipfian_write_ops,
+)
+
+__all__ = [
+    "KeySpace",
+    "Op",
+    "OpKind",
+    "PhaseStats",
+    "WorkloadRunner",
+    "encode_key",
+    "mixed_ops",
+    "point_read_ops",
+    "random_write_ops",
+    "range_scan_ops",
+    "record_value",
+    "scattered_zipfian_write_ops",
+    "zipfian_write_ops",
+    "ZipfGenerator",
+]

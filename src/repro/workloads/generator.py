@@ -1,0 +1,82 @@
+"""Operation streams.
+
+Each generator yields an endless stream of :class:`Op`; the runner draws as
+many as the phase needs.  Streams are deterministic functions of the RNG they
+are given, so per-client-thread streams come from labelled RNG splits and are
+independent of each other and of consumption order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.sim.rng import DeterministicRng
+from repro.workloads.records import KeySpace, record_value
+
+
+class OpKind(enum.Enum):
+    """The three operation types of the paper's workloads."""
+
+    PUT = "put"
+    READ = "read"
+    SCAN = "scan"
+
+
+@dataclass(frozen=True)
+class Op:
+    kind: OpKind
+    key: bytes
+    value: Optional[bytes] = None
+    scan_length: int = 0
+
+
+def random_write_ops(keyspace: KeySpace, rng: DeterministicRng) -> Iterator[Op]:
+    """Uniform random updates over the populated key space (§4.1)."""
+    while True:
+        yield Op(OpKind.PUT, keyspace.random_key(rng),
+                 record_value(rng, keyspace.record_size))
+
+
+def point_read_ops(keyspace: KeySpace, rng: DeterministicRng) -> Iterator[Op]:
+    """Uniform random point lookups (Fig. 15)."""
+    while True:
+        yield Op(OpKind.READ, keyspace.random_key(rng))
+
+
+def range_scan_ops(
+    keyspace: KeySpace, rng: DeterministicRng, scan_length: int = 100
+) -> Iterator[Op]:
+    """Random range scans of ``scan_length`` consecutive records (Fig. 16)."""
+    if scan_length <= 0:
+        raise ValueError("scan length must be positive")
+    while True:
+        start = rng.randrange(max(1, keyspace.n_records - scan_length))
+        yield Op(OpKind.SCAN, keyspace.key(start), scan_length=scan_length)
+
+
+def mixed_ops(
+    keyspace: KeySpace,
+    rng: DeterministicRng,
+    write_fraction: float = 0.5,
+    scan_fraction: float = 0.0,
+    scan_length: int = 100,
+) -> Iterator[Op]:
+    """A read/write/scan mix (not used by the paper's figures, but handy for
+    the examples and ablations)."""
+    if not 0.0 <= write_fraction <= 1.0 or not 0.0 <= scan_fraction <= 1.0:
+        raise ValueError("fractions must lie in [0, 1]")
+    if write_fraction + scan_fraction > 1.0:
+        raise ValueError("write and scan fractions exceed 1")
+    writes = random_write_ops(keyspace, rng.split("w"))
+    reads = point_read_ops(keyspace, rng.split("r"))
+    scans = range_scan_ops(keyspace, rng.split("s"), scan_length)
+    while True:
+        draw = rng.random()
+        if draw < write_fraction:
+            yield next(writes)
+        elif draw < write_fraction + scan_fraction:
+            yield next(scans)
+        else:
+            yield next(reads)

@@ -1,0 +1,121 @@
+"""Integration tests for the benchmark harness (small scales)."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentSpec,
+    build_engine,
+    run_speed_experiment,
+    run_wa_experiment,
+)
+from repro.bench.reporting import format_series, format_table, ratio
+from repro.bench.speed import SpeedModel, engine_kind
+from repro.core.bminus import BMinusTree
+from repro.errors import ConfigError
+from repro.lsm.engine import LSMEngine
+
+
+def small_spec(**overrides):
+    base = dict(n_records=4000, record_size=128, steady_ops=3000)
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ConfigError):
+        build_engine(small_spec(system="leveldb"))
+
+
+def test_build_each_system():
+    for system in ("rocksdb", "wiredtiger", "baseline-btree", "bminus"):
+        engine, device, clock = build_engine(small_spec(system=system))
+        engine.put(b"keykey01", b"v" * 16)
+        assert engine.get(b"keykey01") == b"v" * 16
+
+
+def test_build_bminus_returns_facade():
+    engine, _, _ = build_engine(small_spec(system="bminus"))
+    assert isinstance(engine, BMinusTree)
+    assert engine_kind(engine) == "bminus"
+
+
+def test_build_rocksdb_returns_lsm():
+    engine, _, _ = build_engine(small_spec(system="rocksdb"))
+    assert isinstance(engine, LSMEngine)
+    assert engine_kind(engine) == "lsm"
+
+
+def test_spec_properties():
+    spec = small_spec(cache_fraction=0.1)
+    assert spec.dataset_bytes == 4000 * 128
+    assert spec.cache_bytes >= 64 << 10
+    assert "bminus" in spec.label()
+
+
+def test_run_wa_experiment_end_to_end():
+    result = run_wa_experiment(small_spec(system="bminus"))
+    assert result.populate.ops == 4000
+    assert result.steady.ops == 3000
+    assert result.wa.wa_total > 0
+    assert result.logical_usage > 0
+    assert result.physical_usage > 0
+    assert 0 <= result.beta < 1
+
+
+def test_run_wa_experiment_deterministic():
+    a = run_wa_experiment(small_spec(system="bminus"))
+    b = run_wa_experiment(small_spec(system="bminus"))
+    assert a.wa.wa_total == b.wa.wa_total
+    assert a.physical_usage == b.physical_usage
+
+
+def test_wa_ordering_bminus_vs_baseline():
+    bm = run_wa_experiment(small_spec(system="bminus"))
+    base = run_wa_experiment(small_spec(system="baseline-btree"))
+    assert bm.wa.wa_total < base.wa.wa_total
+
+
+def test_run_speed_experiment_workloads():
+    model = SpeedModel()
+    for workload in ("write", "read", "scan"):
+        result, phase = run_speed_experiment(
+            small_spec(system="bminus", steady_ops=500), workload)
+        tps = model.tps(phase, result.engine, 1)
+        assert tps > 0
+
+
+def test_run_speed_unknown_workload():
+    with pytest.raises(ConfigError):
+        run_speed_experiment(small_spec(), "mixed")
+
+
+def test_speed_model_scales_with_threads():
+    model = SpeedModel()
+    result, phase = run_speed_experiment(
+        small_spec(system="wiredtiger", steady_ops=800, n_threads=1), "read")
+    one = model.tps(phase, result.engine, 1)
+    result16, phase16 = run_speed_experiment(
+        small_spec(system="wiredtiger", steady_ops=800, n_threads=16), "read")
+    sixteen = model.tps(phase16, result16.engine, 16)
+    assert sixteen > 2 * one
+
+
+def test_format_table_renders():
+    text = format_table("Title", ["a", "b"], [[1, 2.5], ["x", 10_000.0]],
+                        note="hello")
+    assert "Title" in text
+    assert "2.50" in text
+    assert "10,000" in text
+    assert "note: hello" in text
+
+
+def test_format_series_renders():
+    text = format_series("Fig", "x", [1, 2], {"s1": [10.0, 20.0], "s2": [1.0]})
+    assert "Fig" in text
+    assert "s1" in text
+    assert "20.0" in text
+
+
+def test_ratio_helper():
+    assert ratio(10, 5) == "2.00x"
+    assert ratio(1, 0) == "n/a"

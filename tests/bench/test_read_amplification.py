@@ -1,0 +1,86 @@
+"""Read-amplification shape tests (the mechanics behind Figs. 15-16).
+
+Verifies the per-operation read volumes the paper's speed arguments rest on:
+
+* a warm B⁻ point read transfers ``l_pg + 4KB`` (page + delta block) but
+  fetches barely more *physical* bytes than the baseline (trimmed slots and
+  delta padding are free);
+* the baseline B-tree transfers ``l_pg``;
+* an LSM point read touches at most a handful of 4KB data blocks thanks to
+  the bloom filters;
+* an LSM scan reads from every level (read amplification scans can't avoid).
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentSpec, build_engine
+from repro.csd.device import BLOCK_SIZE
+from repro.sim.rng import DeterministicRng
+from repro.workloads.records import KeySpace
+from repro.workloads.runner import WorkloadRunner
+
+N_RECORDS = 12_000
+READS = 600
+
+
+def read_phase(system, workload="read", scan_length=100):
+    spec = ExperimentSpec(system=system, n_records=N_RECORDS, record_size=128,
+                          steady_ops=READS)
+    engine, device, clock = build_engine(spec)
+    rng = DeterministicRng(1)
+    runner = WorkloadRunner(engine, device, clock)
+    runner.populate(spec.keyspace, rng.split("p"))
+    if workload == "read":
+        phase = runner.run_point_reads(spec.keyspace, READS, rng.split("r"))
+    else:
+        phase = runner.run_range_scans(spec.keyspace, READS // 10,
+                                       rng.split("s"), scan_length)
+    return phase, engine
+
+
+def test_bminus_point_read_transfers_page_plus_delta():
+    phase, engine = read_phase("bminus")
+    per_read = phase.device.logical_bytes_read / READS
+    # ~one leaf miss per read (cold cache), each a contiguous l_pg + 4KB
+    # request; internal pages stay cached, occasional hits pull it under.
+    assert 0.85 * (8192 + BLOCK_SIZE) <= per_read < 1.3 * (8192 + BLOCK_SIZE)
+
+
+def test_baseline_point_read_transfers_one_page():
+    phase, engine = read_phase("baseline-btree")
+    per_read = phase.device.logical_bytes_read / READS
+    assert 0.85 * 8192 <= per_read < 1.3 * 8192
+
+
+def test_bminus_physical_reads_near_baseline():
+    """The extra 4KB logical transfer costs almost nothing physically."""
+    bm_phase, _ = read_phase("bminus")
+    base_phase, _ = read_phase("baseline-btree")
+    bm = bm_phase.device.physical_bytes_read / READS
+    base = base_phase.device.physical_bytes_read / READS
+    assert bm < 1.4 * base
+
+
+def test_lsm_point_reads_touch_few_blocks():
+    phase, engine = read_phase("rocksdb")
+    blocks_per_read = (phase.device.logical_bytes_read / BLOCK_SIZE) / READS
+    # Bloom filters keep it to ~1-3 data blocks per read, not one per level.
+    assert blocks_per_read < 4.0
+
+
+def test_lsm_scans_read_from_every_level():
+    read_phase_result, engine = read_phase("rocksdb", workload="scan")
+    n_scans = read_phase_result.scans
+    blocks_per_scan = (
+        read_phase_result.device.logical_bytes_read / BLOCK_SIZE / max(1, n_scans)
+    )
+    levels = sum(1 for level in engine.versions.levels if level)
+    # A scan must consult >= 1 block per populated level (plus continuation).
+    assert blocks_per_scan >= levels
+
+
+def test_btree_scans_amortise_page_loads():
+    phase, engine = read_phase("wiredtiger", workload="scan")
+    per_record = phase.device.logical_bytes_read / max(1, phase.records_scanned)
+    # ~45 records of 128B per 8KB leaf: far less than a page per record.
+    assert per_record < 8192 / 10

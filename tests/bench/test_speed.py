@@ -1,0 +1,106 @@
+"""Unit tests for the simulated-time TPS model."""
+
+import pytest
+
+from repro.bench.speed import SpeedModel, engine_kind
+from repro.csd.latency import DeviceLatencyModel
+from repro.csd.stats import DeviceStats
+from repro.workloads.runner import PhaseStats
+
+
+class FakeLsm:
+    pass
+
+
+class FakeBtree:
+    pass
+
+
+FakeLsm.__name__ = "LSMEngine"
+FakeBtree.__name__ = "BTreeEngine"
+
+
+def phase(ops=1000, puts=0, reads=0, scans=0, records_scanned=0, **device):
+    stats = PhaseStats(ops=ops, puts=puts, reads=reads, scans=scans,
+                       records_scanned=records_scanned, elapsed_seconds=1.0)
+    stats.device = DeviceStats(**device)
+    return stats
+
+
+def test_engine_kind_dispatch():
+    assert engine_kind(FakeLsm()) == "lsm"
+    assert engine_kind(FakeBtree()) == "btree"
+
+
+def test_zero_ops_zero_tps():
+    assert SpeedModel().tps(phase(ops=0), FakeBtree(), 1) == 0.0
+
+
+def test_tps_positive_and_finite():
+    tps = SpeedModel().tps(phase(ops=1000, puts=1000), FakeBtree(), 4)
+    assert 0 < tps < 1e9
+
+
+def test_reads_scale_with_threads_until_other_bounds():
+    model = SpeedModel()
+    p = phase(ops=1000, reads=1000, read_ios=1000,
+              logical_bytes_read=8_192_000)
+    one = model.tps(p, FakeBtree(), 1)
+    eight = model.tps(p, FakeBtree(), 8)
+    assert eight > 4 * one  # latency-bound regime parallelises
+
+
+def test_write_iops_bound_engages():
+    """Enough write IOs per op makes the device the bottleneck at high T."""
+    model = SpeedModel()
+    p = phase(ops=1000, puts=1000, write_ios=3000,
+              logical_bytes_written=12_288_000,
+              physical_bytes_written=6_000_000)
+    t16 = model.tps(p, FakeBtree(), 16)
+    t64 = model.tps(p, FakeBtree(), 64)
+    assert t64 == pytest.approx(t16, rel=0.05)  # saturated: more threads don't help
+
+
+def test_lsm_serial_write_cap():
+    model = SpeedModel()
+    p = phase(ops=10_000, puts=10_000)
+    capped = model.tps(p, FakeLsm(), 64)
+    # 13us serialized per put -> ~77K TPS ceiling regardless of threads.
+    assert capped == pytest.approx(1 / 13e-6, rel=0.05)
+
+
+def test_lower_wa_buys_write_tps():
+    """Identical op counts, differing physical volume: less WA -> more TPS."""
+    model = SpeedModel()
+    heavy = phase(ops=1000, puts=1000, write_ios=4000,
+                  logical_bytes_written=32_768_000,
+                  physical_bytes_written=30_000_000)
+    light = phase(ops=1000, puts=1000, write_ios=1000,
+                  logical_bytes_written=4_096_000,
+                  physical_bytes_written=1_000_000)
+    assert model.tps(light, FakeBtree(), 16) > 2 * model.tps(heavy, FakeBtree(), 16)
+
+
+def test_scan_cpu_charged_per_record():
+    model = SpeedModel()
+    small = phase(ops=100, scans=100, records_scanned=100)
+    large = phase(ops=100, scans=100, records_scanned=100_000)
+    assert model.tps(large, FakeLsm(), 4) < model.tps(small, FakeLsm(), 4)
+
+
+def test_fsync_heavy_phase_is_slower():
+    model = SpeedModel()
+    quiet = phase(ops=1000, puts=1000, write_ios=1000,
+                  logical_bytes_written=4_096_000)
+    noisy = phase(ops=1000, puts=1000, write_ios=1000,
+                  logical_bytes_written=4_096_000, flush_ios=5000)
+    assert model.tps(noisy, FakeBtree(), 16) < model.tps(quiet, FakeBtree(), 16)
+
+
+def test_custom_device_model_respected():
+    slow_device = DeviceLatencyModel(flash_read_latency=1e-3)
+    fast_device = DeviceLatencyModel(flash_read_latency=1e-6)
+    p = phase(ops=100, reads=100, read_ios=100, logical_bytes_read=819_200)
+    slow = SpeedModel(device=slow_device).tps(p, FakeBtree(), 1)
+    fast = SpeedModel(device=fast_device).tps(p, FakeBtree(), 1)
+    assert fast > 10 * slow

@@ -1,0 +1,298 @@
+"""Unit and property tests for in-page leaf/internal node algorithms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree.node import (
+    InternalNode,
+    LeafNode,
+    internal_cell_size,
+    leaf_cell_size,
+    node_for_page,
+)
+from repro.btree.page import Page, PageType
+from repro.errors import KeyNotFoundError, PageFormatError, PageFullError
+
+
+def key(i: int) -> bytes:
+    return i.to_bytes(8, "big")
+
+
+@pytest.fixture
+def leaf() -> LeafNode:
+    return LeafNode.create(4096, page_id=1)
+
+
+@pytest.fixture
+def internal() -> InternalNode:
+    return InternalNode.create(4096, page_id=2, level=1)
+
+
+# ------------------------------------------------------------------- leaves
+
+
+def test_leaf_put_get(leaf):
+    assert leaf.put(key(1), b"one") is True
+    assert leaf.get(key(1)) == b"one"
+    assert leaf.get(key(2)) is None
+
+
+def test_leaf_keys_stay_sorted(leaf):
+    for i in [5, 1, 3, 2, 4]:
+        leaf.put(key(i), b"v")
+    assert leaf.keys() == [key(i) for i in [1, 2, 3, 4, 5]]
+
+
+def test_leaf_update_same_size_in_place(leaf):
+    leaf.put(key(1), b"aaaa")
+    leaf.page.clear_dirty()
+    assert leaf.put(key(1), b"bbbb") is False
+    assert leaf.get(key(1)) == b"bbbb"
+    # An in-place same-size update must not grow the cell area.
+    assert leaf.page.dead_bytes == 0
+
+
+def test_leaf_update_different_size(leaf):
+    leaf.put(key(1), b"short")
+    leaf.put(key(1), b"a much longer value than before")
+    assert leaf.get(key(1)) == b"a much longer value than before"
+    assert leaf.page.dead_bytes > 0  # old cell is dead until compaction
+
+
+def test_leaf_delete(leaf):
+    leaf.put(key(1), b"one")
+    leaf.put(key(2), b"two")
+    leaf.delete(key(1))
+    assert leaf.get(key(1)) is None
+    assert leaf.get(key(2)) == b"two"
+
+
+def test_leaf_delete_missing_raises(leaf):
+    with pytest.raises(KeyNotFoundError):
+        leaf.delete(key(99))
+
+
+def test_leaf_records_iteration(leaf):
+    for i in range(10):
+        leaf.put(key(i), bytes([i]))
+    assert list(leaf.records()) == [(key(i), bytes([i])) for i in range(10)]
+
+
+def test_leaf_records_from(leaf):
+    for i in range(0, 10, 2):
+        leaf.put(key(i), b"v")
+    assert [k for k, _ in leaf.records_from(key(3))] == [key(4), key(6), key(8)]
+
+
+def test_leaf_fills_then_rejects(leaf):
+    value = b"x" * 64
+    count = 0
+    with pytest.raises(PageFullError):
+        for i in range(10_000):
+            leaf.put(key(i), value)
+            count += 1
+    assert count > 40  # sanity: a 4KB page holds dozens of 76-byte cells
+
+
+def test_leaf_compaction_reclaims_dead_space(leaf):
+    value = b"x" * 64
+    inserted = 0
+    try:
+        for i in range(10_000):
+            leaf.put(key(i), value)
+            inserted += 1
+    except PageFullError:
+        pass
+    for i in range(0, inserted, 2):
+        leaf.delete(key(i))
+    # Deleted space is reclaimable via compaction, so new puts succeed.
+    for i in range(10_000, 10_000 + inserted // 4):
+        leaf.put(key(i), value)
+    assert leaf.get(key(10_000)) == value
+
+
+def test_leaf_split_preserves_records(leaf):
+    for i in range(40):
+        leaf.put(key(i), b"v" * 16)
+    right = LeafNode.create(4096, page_id=9)
+    separator = leaf.split_into(right)
+    left_keys = leaf.keys()
+    right_keys = right.keys()
+    assert left_keys + right_keys == [key(i) for i in range(40)]
+    assert right_keys[0] == separator
+    assert all(k < separator for k in left_keys)
+    assert 10 < len(left_keys) < 30  # roughly balanced by bytes
+
+
+def test_leaf_split_requires_two_records(leaf):
+    leaf.put(key(1), b"v")
+    with pytest.raises(PageFormatError):
+        leaf.split_into(LeafNode.create(4096, page_id=9))
+
+
+def test_leaf_used_bytes(leaf):
+    leaf.put(key(1), b"abc")
+    assert leaf.used_bytes() == leaf_cell_size(key(1), b"abc") + 2
+
+
+def test_leaf_oversized_key_rejected(leaf):
+    with pytest.raises(PageFormatError):
+        leaf.put(b"k" * 70_000, b"v")
+
+
+# ---------------------------------------------------------------- internals
+
+
+def test_internal_first_child_and_routing(internal):
+    internal.add_first_child(10)
+    internal.insert_separator(key(100), 20)
+    internal.insert_separator(key(200), 30)
+    assert internal.child_for(key(0)) == 10
+    assert internal.child_for(key(100)) == 20
+    assert internal.child_for(key(150)) == 20
+    assert internal.child_for(key(200)) == 30
+    assert internal.child_for(key(999)) == 30
+
+
+def test_internal_first_child_must_come_first(internal):
+    internal.add_first_child(10)
+    with pytest.raises(PageFormatError):
+        internal.add_first_child(11)
+
+
+def test_internal_empty_separator_rejected(internal):
+    internal.add_first_child(10)
+    with pytest.raises(PageFormatError):
+        internal.insert_separator(b"", 20)
+
+
+def test_internal_duplicate_separator_rejected(internal):
+    internal.add_first_child(10)
+    internal.insert_separator(key(5), 20)
+    with pytest.raises(PageFormatError):
+        internal.insert_separator(key(5), 21)
+
+
+def test_internal_routing_on_empty_raises(internal):
+    with pytest.raises(PageFormatError):
+        internal.child_for(key(1))
+
+
+def test_internal_children_listing(internal):
+    internal.add_first_child(10)
+    internal.insert_separator(key(1), 11)
+    internal.insert_separator(key(2), 12)
+    assert internal.children() == [10, 11, 12]
+
+
+def test_internal_remove_separator(internal):
+    internal.add_first_child(10)
+    internal.insert_separator(key(1), 11)
+    internal.remove_separator_at(1)
+    assert internal.children() == [10]
+    assert internal.child_for(key(5)) == 10
+
+
+def test_internal_replace_child(internal):
+    internal.add_first_child(10)
+    internal.replace_child_at(0, 99)
+    assert internal.child_for(key(1)) == 99
+
+
+def test_internal_split(internal):
+    internal.add_first_child(1)
+    for i in range(1, 20):
+        internal.insert_separator(key(i * 10), i + 1)
+    right = InternalNode.create(4096, page_id=5, level=1)
+    promoted = internal.split_into(right)
+    # Promoted key routes to the right node; its leftmost child has key b"".
+    assert right.key_at(0) == b""
+    assert internal.nslots + right.nslots == 20
+    assert all(k < promoted for k in internal.keys()[1:])
+    assert all(k > promoted for k in right.keys()[1:])
+    # Routing must be preserved: key(i*10) still reaches child i+1.
+    for i in range(1, 20):
+        probe = key(i * 10)
+        node = right if probe >= promoted else internal
+        assert node.child_for(probe) == i + 1
+
+
+def test_internal_split_needs_three_cells(internal):
+    internal.add_first_child(1)
+    internal.insert_separator(key(1), 2)
+    with pytest.raises(PageFormatError):
+        internal.split_into(InternalNode.create(4096, page_id=5, level=1))
+
+
+def test_internal_level_validation():
+    with pytest.raises(PageFormatError):
+        InternalNode.create(4096, page_id=1, level=0)
+
+
+def test_internal_cell_size():
+    assert internal_cell_size(key(1)) == 2 + 8 + 8
+
+
+# -------------------------------------------------------------- dispatcher
+
+
+def test_node_for_page_dispatch():
+    assert isinstance(node_for_page(Page(4096, page_type=PageType.LEAF)), LeafNode)
+    assert isinstance(
+        node_for_page(Page(4096, page_type=PageType.INTERNAL, level=1)), InternalNode
+    )
+    with pytest.raises(PageFormatError):
+        node_for_page(Page(4096, page_type=PageType.META))
+
+
+# ----------------------------------------------------------------- property
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_property_leaf_matches_dict(data):
+    """Random put/update/delete sequences agree with a dict reference."""
+    leaf = LeafNode.create(8192, page_id=1)
+    reference: dict[bytes, bytes] = {}
+    keys = [key(i) for i in range(64)]
+    for _ in range(data.draw(st.integers(1, 120))):
+        action = data.draw(st.sampled_from(["put", "delete", "get"]))
+        k = data.draw(st.sampled_from(keys))
+        if action == "put":
+            v = data.draw(st.binary(min_size=0, max_size=40))
+            try:
+                leaf.put(k, v)
+                reference[k] = v
+            except PageFullError:
+                return  # page genuinely full; reference model diverges no further
+        elif action == "delete":
+            if k in reference:
+                leaf.delete(k)
+                del reference[k]
+            else:
+                with pytest.raises(KeyNotFoundError):
+                    leaf.delete(k)
+        else:
+            assert leaf.get(k) == reference.get(k)
+    assert dict(leaf.records()) == reference
+    assert leaf.keys() == sorted(reference)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(10, 60))
+def test_property_split_is_partition(seed, n):
+    import random
+
+    rng = random.Random(seed)
+    leaf = LeafNode.create(8192, page_id=1)
+    inserted = {}
+    for i in rng.sample(range(10_000), n):
+        leaf.put(key(i), bytes([i % 256]) * rng.randint(1, 30))
+        inserted[key(i)] = leaf.get(key(i))
+    right = LeafNode.create(8192, page_id=2)
+    separator = leaf.split_into(right)
+    merged = dict(leaf.records())
+    merged.update(dict(right.records()))
+    assert merged == inserted
+    assert max(leaf.keys()) < separator <= min(right.keys())

@@ -1,0 +1,230 @@
+"""Unit tests for the redo log: packed vs sparse layouts, replay, wrap-around."""
+
+import pytest
+
+from repro.btree.wal import (
+    BLOCK_CAPACITY,
+    LogOp,
+    LogPosition,
+    LogRecord,
+    RedoLog,
+)
+from repro.csd.device import BLOCK_SIZE, CompressedBlockDevice
+from repro.errors import ConfigError, WalError
+
+
+@pytest.fixture
+def log_device():
+    return CompressedBlockDevice(num_blocks=256)
+
+
+def make_log(device, sparse=False, num_blocks=64):
+    return RedoLog(device, start_block=0, num_blocks=num_blocks, sparse=sparse)
+
+
+def record(lsn, key=b"k", value=b"v" * 16, op=LogOp.PUT, txid=0):
+    return LogRecord(lsn, txid, op, key, value)
+
+
+# ------------------------------------------------------------------ records
+
+
+def test_record_encode_decode_roundtrip():
+    rec = record(7, key=b"alpha", value=b"beta", op=LogOp.DELETE, txid=3)
+    encoded = rec.encode()
+    decoded, consumed = LogRecord.decode(encoded, 0)
+    assert decoded == rec
+    assert consumed == len(encoded)
+
+
+def test_record_decode_rejects_corruption():
+    encoded = bytearray(record(1).encode())
+    encoded[-1] ^= 0xFF
+    assert LogRecord.decode(bytes(encoded), 0) is None
+
+
+def test_record_decode_zero_padding_is_none():
+    assert LogRecord.decode(bytes(64), 0) is None
+
+
+def test_record_decode_truncated_is_none():
+    encoded = record(1).encode()
+    assert LogRecord.decode(encoded[: len(encoded) - 3], 0) is None
+
+
+def test_oversized_record_rejected(log_device):
+    log = make_log(log_device)
+    with pytest.raises(WalError):
+        log.append(record(1, value=b"x" * BLOCK_CAPACITY))
+
+
+# ------------------------------------------------------------------- config
+
+
+def test_log_region_validation(log_device):
+    with pytest.raises(ConfigError):
+        RedoLog(log_device, 0, 1)
+    with pytest.raises(ConfigError):
+        RedoLog(log_device, 250, 10)
+
+
+# ----------------------------------------------------------------- flushing
+
+
+def test_append_is_not_durable_until_flush(log_device):
+    log = make_log(log_device)
+    log.append(record(1))
+    assert log.stats.logical_bytes == 0
+    log.flush()
+    assert log.stats.logical_bytes == BLOCK_SIZE
+    assert log.stats.flushes == 1
+
+
+def test_flush_without_new_records_writes_nothing(log_device):
+    log = make_log(log_device)
+    log.append(record(1))
+    log.flush()
+    before = log.stats.logical_bytes
+    log.flush()
+    assert log.stats.logical_bytes == before
+
+
+def test_packed_mode_rewrites_same_block(log_device):
+    """Conventional logging: consecutive flushes hit the same LBA (Fig. 7)."""
+    log = make_log(log_device, sparse=False)
+    for lsn in range(1, 4):
+        log.append(record(lsn))
+        log.flush()
+    assert log.stats.logical_bytes == 3 * BLOCK_SIZE
+    # All three flushes rewrote ring block 0: only one block is mapped.
+    assert log_device.logical_bytes_used == BLOCK_SIZE
+
+
+def test_sparse_mode_uses_fresh_block_per_flush(log_device):
+    """Sparse logging: each flush seals the block and opens a new LBA (Fig. 8)."""
+    log = make_log(log_device, sparse=True)
+    for lsn in range(1, 4):
+        log.append(record(lsn))
+        log.flush()
+    assert log.stats.logical_bytes == 3 * BLOCK_SIZE
+    assert log_device.logical_bytes_used == 3 * BLOCK_SIZE
+
+
+def test_sparse_mode_improves_physical_compression(log_device):
+    """The whole point of technique 3: same logical volume, less physical."""
+    import random
+
+    rng = random.Random(7)
+    devices = {}
+    for sparse in (False, True):
+        device = CompressedBlockDevice(num_blocks=4096)
+        log = RedoLog(device, 0, 4096, sparse=sparse)
+        rng2 = random.Random(7)
+        for lsn in range(1, 200):
+            payload = bytes(rng2.randrange(256) for _ in range(64))
+            log.append(record(lsn, value=payload))
+            log.flush()
+        devices[sparse] = log.stats
+    # W_log stays (essentially) the same: one 4KB write per flush either way.
+    assert devices[True].logical_bytes <= devices[False].logical_bytes
+    assert devices[True].logical_bytes >= 0.95 * devices[False].logical_bytes
+    # The physical volume drops by far more than the paper's headline factor.
+    assert devices[True].physical_bytes < 0.3 * devices[False].physical_bytes
+
+
+def test_block_overflow_seals_and_continues(log_device):
+    log = make_log(log_device)
+    big = b"x" * 1500
+    for lsn in range(1, 5):  # 4 x ~1.5KB > one 4KB block
+        log.append(record(lsn, value=big))
+    log.flush()
+    records, _ = log.scan(LogPosition(0, 1))
+    assert [r.lsn for r in records] == [1, 2, 3, 4]
+
+
+# ------------------------------------------------------------------- replay
+
+
+def test_scan_returns_records_in_order(log_device):
+    log = make_log(log_device)
+    for lsn in range(1, 20):
+        log.append(record(lsn, key=str(lsn).encode()))
+    log.flush()
+    records, end = log.scan(LogPosition(0, 1))
+    assert [r.lsn for r in records] == list(range(1, 20))
+    assert end.sequence > 1
+
+
+def test_scan_from_midpoint(log_device):
+    log = make_log(log_device, sparse=True)
+    for lsn in range(1, 6):
+        log.append(record(lsn))
+        log.flush()
+    midpoint = log.position()
+    for lsn in range(6, 9):
+        log.append(record(lsn))
+        log.flush()
+    records, _ = log.scan(midpoint)
+    assert [r.lsn for r in records] == [6, 7, 8]
+
+
+def test_scan_ignores_unflushed_tail(log_device):
+    log = make_log(log_device)
+    log.append(record(1))
+    log.flush()
+    log.append(record(2))  # never flushed
+    records, _ = log.scan(LogPosition(0, 1))
+    assert [r.lsn for r in records] == [1]
+
+
+def test_scan_stops_at_stale_ring_blocks(log_device):
+    """After wrap-around, old blocks with lower sequence end the scan."""
+    log = make_log(log_device, sparse=True, num_blocks=8)
+    for lsn in range(1, 20):  # wraps the 8-block ring twice
+        log.append(record(lsn))
+        log.flush()
+    start_seq = log.position().sequence - 7
+    start = LogPosition((start_seq - 1) % 8, start_seq)
+    records, _ = log.scan(start)
+    assert [r.lsn for r in records] == list(range(start_seq, 20))
+
+
+def test_replay_iterator_matches_scan(log_device):
+    log = make_log(log_device)
+    for lsn in range(1, 10):
+        log.append(record(lsn))
+    log.flush()
+    assert [r.lsn for r in log.replay(LogPosition(0, 1))] == list(range(1, 10))
+
+
+def test_reset_to_resumes_after_recovery(log_device):
+    log = make_log(log_device)
+    for lsn in range(1, 5):
+        log.append(record(lsn))
+    log.flush()
+    _, end = log.scan(LogPosition(0, 1))
+    fresh = make_log(log_device)
+    fresh.reset_to(end)
+    fresh.append(record(100))
+    fresh.flush()
+    records, _ = fresh.scan(end)
+    assert [r.lsn for r in records] == [100]
+
+
+def test_crash_loses_only_unflushed_records(log_device):
+    log = make_log(log_device)
+    log.append(record(1))
+    log.flush()
+    log.append(record(2))
+    log_device.simulate_crash()
+    records, _ = log.scan(LogPosition(0, 1))
+    assert [r.lsn for r in records] == [1]
+
+
+def test_blocks_since_counts_sealed_blocks(log_device):
+    log = make_log(log_device, sparse=True)
+    start = log.position()
+    for lsn in range(1, 4):
+        log.append(record(lsn))
+        log.flush()
+    assert log.blocks_since(start) == 3

@@ -1,0 +1,104 @@
+"""Unit tests for the per-block compressor models."""
+
+import pytest
+
+from repro.csd.compression import (
+    ZERO_BLOCK_COST,
+    NullCompressor,
+    ZeroRunEstimator,
+    ZlibCompressor,
+)
+from repro.csd.device import BLOCK_SIZE
+from repro.sim.rng import DeterministicRng
+
+
+@pytest.fixture(params=["zlib", "estimator", "null"])
+def compressor(request):
+    return {
+        "zlib": ZlibCompressor(),
+        "estimator": ZeroRunEstimator(),
+        "null": NullCompressor(),
+    }[request.param]
+
+
+def test_empty_block_is_free(compressor):
+    assert compressor.compressed_size(b"") == 0
+
+
+def test_never_exceeds_input_size(compressor, rng):
+    block = rng.random_bytes(BLOCK_SIZE)
+    assert compressor.compressed_size(block) <= BLOCK_SIZE
+
+
+def test_ratio_bounds(compressor, rng):
+    block = rng.random_bytes(1024) + bytes(3072)
+    assert 0.0 < compressor.ratio(block) <= 1.0
+
+
+def test_ratio_of_empty_block_is_one(compressor):
+    assert compressor.ratio(b"") == 1.0
+
+
+def test_zlib_zero_block_nearly_free():
+    assert ZlibCompressor().compressed_size(bytes(BLOCK_SIZE)) == ZERO_BLOCK_COST
+
+
+def test_zlib_random_block_incompressible(rng):
+    block = rng.random_bytes(BLOCK_SIZE)
+    size = ZlibCompressor().compressed_size(block)
+    assert size > 0.95 * BLOCK_SIZE
+
+
+def test_zlib_half_zero_block_roughly_halves(rng):
+    block = rng.random_bytes(BLOCK_SIZE // 2) + bytes(BLOCK_SIZE // 2)
+    size = ZlibCompressor().compressed_size(block)
+    assert 0.4 * BLOCK_SIZE < size < 0.6 * BLOCK_SIZE
+
+
+def test_zlib_level_validation():
+    with pytest.raises(ValueError):
+        ZlibCompressor(level=0)
+    with pytest.raises(ValueError):
+        ZlibCompressor(level=10)
+
+
+def test_estimator_zero_block_nearly_free():
+    assert ZeroRunEstimator().compressed_size(bytes(BLOCK_SIZE)) == ZERO_BLOCK_COST
+
+
+def test_estimator_counts_nonzero_bytes(rng):
+    payload = bytes(b % 255 + 1 for b in rng.random_bytes(100))  # 100 non-zero bytes
+    block = payload + bytes(BLOCK_SIZE - 100)
+    assert ZeroRunEstimator().compressed_size(block) == ZERO_BLOCK_COST + 100
+
+
+def test_estimator_entropy_factor():
+    payload = bytes([7] * 1000) + bytes(BLOCK_SIZE - 1000)
+    est = ZeroRunEstimator(entropy_factor=0.5)
+    assert est.compressed_size(payload) == ZERO_BLOCK_COST + 500
+
+
+def test_estimator_parameter_validation():
+    with pytest.raises(ValueError):
+        ZeroRunEstimator(entropy_factor=0.0)
+    with pytest.raises(ValueError):
+        ZeroRunEstimator(entropy_factor=1.5)
+    with pytest.raises(ValueError):
+        ZeroRunEstimator(header_cost=-1)
+
+
+def test_null_compressor_identity(rng):
+    block = rng.random_bytes(512)
+    assert NullCompressor().compressed_size(block) == 512
+
+
+def test_estimator_tracks_zlib_on_workload_content(rng):
+    """The fast estimator should stay within ~15% of real zlib on the paper's
+    half-zero/half-random record content."""
+    zlib_c = ZlibCompressor()
+    est = ZeroRunEstimator()
+    for _ in range(10):
+        block = rng.random_bytes(BLOCK_SIZE // 2) + bytes(BLOCK_SIZE // 2)
+        real = zlib_c.compressed_size(block)
+        approx = est.compressed_size(block)
+        assert abs(real - approx) / real < 0.15

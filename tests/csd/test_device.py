@@ -1,0 +1,237 @@
+"""Unit and property tests for the simulated block devices."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csd.compression import ZERO_BLOCK_COST, ZlibCompressor
+from repro.csd.device import BLOCK_SIZE, CompressedBlockDevice, PlainSSD
+from repro.errors import AlignmentError, CapacityError, OutOfRangeError
+from repro.sim.rng import DeterministicRng
+
+
+def make_block(rng, nonzero_bytes=BLOCK_SIZE):
+    return rng.random_bytes(nonzero_bytes) + bytes(BLOCK_SIZE - nonzero_bytes)
+
+
+def test_unwritten_block_reads_zero(device):
+    assert device.read_block(7) == bytes(BLOCK_SIZE)
+
+
+def test_read_after_write(device, rng):
+    block = make_block(rng)
+    device.write_block(3, block)
+    assert device.read_block(3) == block
+
+
+def test_multi_block_roundtrip(device, rng):
+    data = rng.random_bytes(3 * BLOCK_SIZE)
+    device.write_blocks(10, data)
+    assert device.read_blocks(10, 3) == data
+
+
+def test_overwrite_replaces(device, rng):
+    device.write_block(0, make_block(rng))
+    second = make_block(rng)
+    device.write_block(0, second)
+    assert device.read_block(0) == second
+
+
+def test_trim_reads_as_zero(device, rng):
+    device.write_block(5, make_block(rng))
+    device.trim(5)
+    assert device.read_block(5) == bytes(BLOCK_SIZE)
+
+
+def test_trim_range(device, rng):
+    for i in range(4):
+        device.write_block(i, make_block(rng))
+    device.trim(1, 2)
+    assert device.read_block(0) != bytes(BLOCK_SIZE)
+    assert device.read_block(1) == bytes(BLOCK_SIZE)
+    assert device.read_block(2) == bytes(BLOCK_SIZE)
+    assert device.read_block(3) != bytes(BLOCK_SIZE)
+
+
+def test_misaligned_write_rejected(device):
+    with pytest.raises(AlignmentError):
+        device.write_block(0, b"short")
+    with pytest.raises(AlignmentError):
+        device.write_blocks(0, b"x" * (BLOCK_SIZE + 1))
+
+
+def test_out_of_range_io_rejected(device):
+    with pytest.raises(OutOfRangeError):
+        device.read_block(device.num_blocks)
+    with pytest.raises(OutOfRangeError):
+        device.write_block(-1, bytes(BLOCK_SIZE))
+    with pytest.raises(OutOfRangeError):
+        device.write_blocks(device.num_blocks - 1, bytes(2 * BLOCK_SIZE))
+
+
+def test_logical_write_accounting(device, rng):
+    device.write_block(0, make_block(rng))
+    device.write_blocks(1, rng.random_bytes(2 * BLOCK_SIZE))
+    assert device.stats.logical_bytes_written == 3 * BLOCK_SIZE
+    assert device.stats.write_ios == 2
+
+
+def test_physical_write_accounting_compresses(device, rng):
+    """A half-zero block should cost roughly half its logical size physically."""
+    device.write_block(0, make_block(rng, nonzero_bytes=BLOCK_SIZE // 2))
+    physical = device.stats.physical_bytes_written
+    assert 0.3 * BLOCK_SIZE < physical < 0.7 * BLOCK_SIZE
+
+
+def test_all_zero_block_nearly_free(device):
+    device.write_block(0, bytes(BLOCK_SIZE))
+    assert device.stats.physical_bytes_written < 64
+
+
+def test_physical_usage_tracks_live_data(device, rng):
+    device.write_block(0, make_block(rng))
+    used_after_write = device.physical_bytes_used
+    assert used_after_write > 0.9 * BLOCK_SIZE
+    device.trim(0)
+    assert device.physical_bytes_used == 0
+
+
+def test_overwrite_does_not_leak_usage(device, rng):
+    device.write_block(0, make_block(rng))
+    first = device.physical_bytes_used
+    device.write_block(0, make_block(rng))
+    assert device.physical_bytes_used == pytest.approx(first, rel=0.1)
+
+
+def test_logical_usage_counts_mapped_lbas(device, rng):
+    device.write_block(0, make_block(rng))
+    device.write_block(9, make_block(rng))
+    assert device.logical_bytes_used == 2 * BLOCK_SIZE
+    device.trim(9)
+    assert device.logical_bytes_used == BLOCK_SIZE
+
+
+def test_read_accounting_physical_vs_logical(device, rng):
+    device.write_block(0, make_block(rng, nonzero_bytes=256))
+    device.read_block(0)  # live, small extent
+    device.read_block(1)  # never written: free physically
+    assert device.stats.logical_bytes_read == 2 * BLOCK_SIZE
+    assert device.stats.physical_bytes_read < 1024
+
+
+def test_thin_provisioning_capacity_enforced(rng):
+    device = CompressedBlockDevice(
+        num_blocks=64, physical_capacity=BLOCK_SIZE + BLOCK_SIZE // 2
+    )
+    device.write_block(0, make_block(rng))
+    with pytest.raises(CapacityError):
+        device.write_block(1, make_block(rng))
+
+
+def test_thin_provisioning_sparse_data_fits(rng):
+    """Many mostly-zero logical blocks fit into little physical space."""
+    device = CompressedBlockDevice(num_blocks=64, physical_capacity=2 * BLOCK_SIZE)
+    for lba in range(32):
+        device.write_block(lba, make_block(rng, nonzero_bytes=64))
+    assert device.logical_bytes_used == 32 * BLOCK_SIZE
+    assert device.physical_bytes_used < 2 * BLOCK_SIZE
+
+
+def test_plain_ssd_physical_equals_logical(plain_ssd, rng):
+    plain_ssd.write_block(0, bytes(BLOCK_SIZE))  # even zeros cost full size
+    assert plain_ssd.stats.physical_bytes_written == BLOCK_SIZE
+
+
+def test_crash_discards_unflushed_writes(device, rng):
+    block = make_block(rng)
+    device.write_block(0, block)
+    device.flush()
+    device.write_block(0, make_block(rng))
+    lost = device.simulate_crash()
+    assert lost == [0]
+    assert device.read_block(0) == block
+
+
+def test_crash_preserves_flushed_writes(device, rng):
+    block = make_block(rng)
+    device.write_block(4, block)
+    device.flush()
+    device.simulate_crash()
+    assert device.read_block(4) == block
+
+
+def test_crash_partial_survival_models_torn_multiblock_write(device, rng):
+    """A two-block write where only the first block survives the crash."""
+    data = rng.random_bytes(2 * BLOCK_SIZE)
+    device.write_blocks(0, data)
+    device.simulate_crash(survives=lambda lba: lba == 0)
+    assert device.read_block(0) == data[:BLOCK_SIZE]
+    assert device.read_block(1) == bytes(BLOCK_SIZE)
+
+
+def test_crash_unflushed_trim_can_be_lost(device, rng):
+    block = make_block(rng)
+    device.write_block(2, block)
+    device.flush()
+    device.trim(2)
+    device.simulate_crash()  # trim never became durable
+    assert device.read_block(2) == block
+
+
+def test_flush_persists_trim(device, rng):
+    device.write_block(2, make_block(rng))
+    device.trim(2)
+    device.flush()
+    device.simulate_crash()
+    assert device.read_block(2) == bytes(BLOCK_SIZE)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_property_device_matches_reference_model(data):
+    """Random write/trim/flush sequences agree with a dict reference model."""
+    rng = DeterministicRng(data.draw(st.integers(0, 2**32)))
+    device = CompressedBlockDevice(num_blocks=16, compressor=ZlibCompressor(1))
+    reference: dict = {}
+    for _ in range(data.draw(st.integers(1, 60))):
+        action = data.draw(st.sampled_from(["write", "trim", "flush", "read"]))
+        lba = data.draw(st.integers(0, 15))
+        if action == "write":
+            block = make_block(rng, nonzero_bytes=data.draw(st.integers(0, BLOCK_SIZE)))
+            device.write_block(lba, block)
+            reference[lba] = block
+        elif action == "trim":
+            device.trim(lba)
+            reference.pop(lba, None)
+        elif action == "flush":
+            device.flush()
+        else:
+            assert device.read_block(lba) == reference.get(lba, bytes(BLOCK_SIZE))
+    for lba in range(16):
+        assert device.read_block(lba) == reference.get(lba, bytes(BLOCK_SIZE))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**32), n_ops=st.integers(1, 40))
+def test_property_physical_writes_monotone(seed, n_ops):
+    rng = DeterministicRng(seed)
+    device = CompressedBlockDevice(num_blocks=32)
+    last = 0
+    for i in range(n_ops):
+        device.write_block(i % 32, make_block(rng, nonzero_bytes=rng.randrange(BLOCK_SIZE)))
+        now = device.stats.physical_bytes_written
+        assert now >= last
+        last = now
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**32))
+def test_property_live_bytes_never_exceed_physical_writes(seed):
+    rng = DeterministicRng(seed)
+    device = CompressedBlockDevice(num_blocks=32)
+    for i in range(40):
+        if rng.random() < 0.7:
+            device.write_block(rng.randrange(32), make_block(rng, nonzero_bytes=rng.randrange(BLOCK_SIZE)))
+        else:
+            device.trim(rng.randrange(32))
+        assert device.physical_bytes_used <= device.stats.physical_bytes_written

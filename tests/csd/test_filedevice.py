@@ -1,0 +1,124 @@
+"""Unit tests for the file-backed device variant."""
+
+import pytest
+
+from repro.csd.device import BLOCK_SIZE
+from repro.csd.filedevice import FileBackedBlockDevice
+from repro.errors import OutOfRangeError
+from repro.sim.rng import DeterministicRng
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "device.img")
+
+
+def block(rng, nonzero=BLOCK_SIZE):
+    return rng.random_bytes(nonzero) + bytes(BLOCK_SIZE - nonzero)
+
+
+def test_roundtrip(path, rng):
+    with FileBackedBlockDevice(path, 64) as device:
+        data = block(rng)
+        device.write_block(3, data)
+        assert device.read_block(3) == data
+        assert device.read_block(4) == bytes(BLOCK_SIZE)
+
+
+def test_bounds_checked(path):
+    with FileBackedBlockDevice(path, 8) as device:
+        with pytest.raises(OutOfRangeError):
+            device.read_block(8)
+
+
+def test_compression_accounting(path, rng):
+    with FileBackedBlockDevice(path, 64) as device:
+        device.write_block(0, block(rng, nonzero=512))
+        assert device.stats.physical_bytes_written < BLOCK_SIZE / 2
+        assert device.logical_bytes_used == BLOCK_SIZE
+
+
+def test_trim_reads_zero_after_flush(path, rng):
+    with FileBackedBlockDevice(path, 64) as device:
+        device.write_block(5, block(rng))
+        device.flush()
+        device.trim(5)
+        device.flush()
+        assert device.read_block(5) == bytes(BLOCK_SIZE)
+        assert device.physical_bytes_used == 0
+
+
+def test_crash_drops_unflushed(path, rng):
+    with FileBackedBlockDevice(path, 64) as device:
+        first = block(rng)
+        device.write_block(0, first)
+        device.flush()
+        device.write_block(0, block(rng))
+        lost = device.simulate_crash()
+        assert lost == [0]
+        assert device.read_block(0) == first
+
+
+def test_crash_partial_survival(path, rng):
+    with FileBackedBlockDevice(path, 64) as device:
+        data = rng.random_bytes(2 * BLOCK_SIZE)
+        device.write_blocks(0, data)
+        device.simulate_crash(survives=lambda lba: lba == 1)
+        assert device.read_block(0) == bytes(BLOCK_SIZE)
+        assert device.read_block(1) == data[BLOCK_SIZE:]
+
+
+def test_reopen_preserves_contents(path, rng):
+    data = block(rng)
+    with FileBackedBlockDevice(path, 64) as device:
+        device.write_block(7, data)
+        device.flush()
+    with FileBackedBlockDevice(path, 64) as reopened:
+        assert reopened.read_block(7) == data
+        # Physical usage rebuilt from the file; history counters reset.
+        assert reopened.physical_bytes_used > 0.9 * BLOCK_SIZE
+        assert reopened.stats.physical_bytes_written == 0
+
+
+def test_reopen_runs_an_engine(path, rng):
+    """A B-tree survives a full process 'restart' on the file device."""
+    from repro.btree.engine import BTreeConfig, BTreeEngine
+
+    config = BTreeConfig(cache_bytes=1 << 17, max_pages=512, log_blocks=64)
+    with FileBackedBlockDevice(path, 20_000) as device:
+        engine = BTreeEngine(device, config)
+        for i in range(500):
+            engine.put(i.to_bytes(8, "big"), bytes([i % 256]) * 32)
+            engine.commit()
+        engine.close()
+    with FileBackedBlockDevice(path, 20_000) as device:
+        reopened = BTreeEngine.open(device, config)
+        assert reopened.get((77).to_bytes(8, "big")) == bytes([77]) * 32
+        assert sum(1 for _ in reopened.items()) == 500
+
+
+def test_matches_in_memory_device_semantics(path, rng):
+    """Differential check against the dict-backed device."""
+    from repro.csd.device import CompressedBlockDevice
+
+    memory = CompressedBlockDevice(num_blocks=32)
+    with FileBackedBlockDevice(path, 32) as disk:
+        actions = DeterministicRng(9)
+        for _ in range(120):
+            action = actions.randrange(4)
+            lba = actions.randrange(32)
+            if action == 0:
+                data = block(actions, nonzero=actions.randrange(BLOCK_SIZE))
+                memory.write_block(lba, data)
+                disk.write_block(lba, data)
+            elif action == 1:
+                memory.trim(lba)
+                disk.trim(lba)
+            elif action == 2:
+                memory.flush()
+                disk.flush()
+            else:
+                assert memory.read_block(lba) == disk.read_block(lba)
+        for lba in range(32):
+            assert memory.read_block(lba) == disk.read_block(lba)
+        assert memory.physical_bytes_used == disk.physical_bytes_used

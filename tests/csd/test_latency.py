@@ -1,0 +1,99 @@
+"""Unit tests for the device latency/bandwidth model."""
+
+import pytest
+
+from repro.csd.device import BLOCK_SIZE
+from repro.csd.latency import DeviceLatencyModel, HostCostModel
+from repro.csd.stats import DeviceStats
+
+
+def test_no_traffic_no_time():
+    model = DeviceLatencyModel()
+    assert model.busy_time(DeviceStats()) == 0.0
+
+
+def test_write_time_scales_with_physical_bytes():
+    """Better compression (smaller physical volume) must shrink busy time once
+    the flash back end is the bottleneck."""
+    model = DeviceLatencyModel()
+    heavy = DeviceStats(
+        logical_bytes_written=1 << 30, physical_bytes_written=1 << 30, write_ios=1
+    )
+    light = DeviceStats(
+        logical_bytes_written=1 << 30, physical_bytes_written=1 << 28, write_ios=1
+    )
+    assert model.write_busy_time(light) < model.write_busy_time(heavy)
+
+
+def test_write_time_iops_bound():
+    model = DeviceLatencyModel()
+    stats = DeviceStats(
+        write_ios=int(model.sustained_write_iops), logical_bytes_written=BLOCK_SIZE
+    )
+    assert model.write_busy_time(stats) == pytest.approx(1.0, rel=0.05)
+
+
+def test_write_time_interface_bound():
+    """Incompressible data at full bandwidth is interface/flash limited."""
+    model = DeviceLatencyModel()
+    stats = DeviceStats(
+        logical_bytes_written=int(3.2e9), physical_bytes_written=int(3.2e9), write_ios=1
+    )
+    busy = model.write_busy_time(stats)
+    assert busy >= 1.0  # cannot beat the PCIe link
+
+
+def test_gc_traffic_slows_writes():
+    model = DeviceLatencyModel()
+    base = DeviceStats(logical_bytes_written=1 << 30, physical_bytes_written=1 << 30)
+    with_gc = DeviceStats(
+        logical_bytes_written=1 << 30,
+        physical_bytes_written=1 << 30,
+        gc_bytes_written=1 << 30,
+    )
+    assert model.write_busy_time(with_gc) > model.write_busy_time(base)
+
+
+def test_read_time_cheap_for_trimmed_data():
+    """Reading logically large but physically tiny data is interface-bound."""
+    model = DeviceLatencyModel()
+    sparse = DeviceStats(logical_bytes_read=1 << 30, physical_bytes_read=1 << 20, read_ios=1)
+    dense = DeviceStats(logical_bytes_read=1 << 30, physical_bytes_read=1 << 30, read_ios=1)
+    assert model.read_busy_time(sparse) <= model.read_busy_time(dense)
+
+
+def test_flush_adds_latency():
+    model = DeviceLatencyModel()
+    stats = DeviceStats(flush_ios=100)
+    expected = 100 * model.flush_latency / model.flush_parallelism
+    assert model.write_busy_time(stats) == pytest.approx(expected)
+
+
+def test_read_request_latency_includes_flash_access():
+    model = DeviceLatencyModel()
+    latency = model.read_request_latency(8192)
+    assert latency > model.flash_read_latency
+
+
+def test_read_request_latency_grows_with_size():
+    model = DeviceLatencyModel()
+    assert model.read_request_latency(64 * BLOCK_SIZE) > model.read_request_latency(BLOCK_SIZE)
+
+
+def test_busy_time_sums_read_and_write():
+    model = DeviceLatencyModel()
+    stats = DeviceStats(
+        logical_bytes_written=1 << 20,
+        physical_bytes_written=1 << 20,
+        logical_bytes_read=1 << 20,
+        physical_bytes_read=1 << 20,
+    )
+    assert model.busy_time(stats) == pytest.approx(
+        model.write_busy_time(stats) + model.read_busy_time(stats)
+    )
+
+
+def test_host_cost_model_defaults():
+    host = HostCostModel()
+    assert host.op_base > 0
+    assert host.cpu_cores == 24

@@ -1,0 +1,92 @@
+"""Unit tests for compaction merging."""
+
+import pytest
+
+from repro.csd.device import CompressedBlockDevice
+from repro.lsm.compaction import merge_tables, write_merged
+from repro.lsm.sstable import ExtentAllocator, SSTableReader, SSTableWriter
+
+
+def key(i: int) -> bytes:
+    return i.to_bytes(8, "big")
+
+
+@pytest.fixture
+def rig():
+    device = CompressedBlockDevice(num_blocks=8192)
+    return device, ExtentAllocator(0, 8192)
+
+
+def build(rig, records, table_id, seq):
+    device, allocator = rig
+    writer = SSTableWriter(device, allocator, table_id, seq, max(1, len(records)))
+    for k, v in records:
+        writer.add(k, v)
+    meta, _, _ = writer.finish()
+    return SSTableReader.open(device, meta.start_block, meta.num_blocks)
+
+
+def test_merge_disjoint_tables(rig):
+    a = build(rig, [(key(i), b"a") for i in range(0, 10)], 1, 1)
+    b = build(rig, [(key(i), b"b") for i in range(10, 20)], 2, 2)
+    merged = list(merge_tables([a, b], drop_tombstones=False))
+    assert [k for k, _ in merged] == [key(i) for i in range(20)]
+
+
+def test_merge_newest_wins_on_duplicates(rig):
+    old = build(rig, [(key(i), b"old") for i in range(10)], 1, 1)
+    new = build(rig, [(key(i), b"new") for i in range(5, 15)], 2, 9)
+    merged = dict(merge_tables([old, new], drop_tombstones=False))
+    for i in range(5):
+        assert merged[key(i)] == b"old"
+    for i in range(5, 15):
+        assert merged[key(i)] == b"new"
+
+
+def test_merge_carries_tombstones_when_not_bottom(rig):
+    base = build(rig, [(key(1), b"v"), (key(2), b"v")], 1, 1)
+    deleter = build(rig, [(key(1), None)], 2, 9)
+    merged = dict(merge_tables([base, deleter], drop_tombstones=False))
+    assert merged[key(1)] is None  # tombstone survives
+
+
+def test_merge_drops_tombstones_at_bottom(rig):
+    base = build(rig, [(key(1), b"v"), (key(2), b"v")], 1, 1)
+    deleter = build(rig, [(key(1), None)], 2, 9)
+    merged = dict(merge_tables([base, deleter], drop_tombstones=True))
+    assert key(1) not in merged
+    assert merged[key(2)] == b"v"
+
+
+def test_merge_tombstone_of_absent_key_dropped_at_bottom(rig):
+    deleter = build(rig, [(key(9), None)], 1, 1)
+    assert list(merge_tables([deleter], drop_tombstones=True)) == []
+
+
+def test_write_merged_splits_by_target_size(rig):
+    device, allocator = rig
+    big = build(rig, [(key(i), bytes(200)) for i in range(500)], 1, 1)
+    counter = iter(range(100, 200))
+
+    def make_writer():
+        table_id = next(counter)
+        return SSTableWriter(device, allocator, table_id, 50, 500)
+
+    metas, logical, physical = write_merged(
+        merge_tables([big], drop_tombstones=False), make_writer,
+        table_target_bytes=16 << 10,
+    )
+    assert len(metas) > 3  # split into several output tables
+    assert sum(m.n_records for m in metas) == 500
+    # Outputs are disjoint and ordered.
+    for left, right in zip(metas, metas[1:]):
+        assert left.max_key < right.min_key
+    assert logical >= physical > 0
+
+
+def test_write_merged_empty_stream(rig):
+    device, allocator = rig
+    metas, logical, physical = write_merged(
+        iter([]), lambda: None, table_target_bytes=1 << 20)
+    assert metas == []
+    assert logical == physical == 0

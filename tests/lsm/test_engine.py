@@ -1,0 +1,263 @@
+"""Integration and property tests for the LSM engine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csd.device import CompressedBlockDevice
+from repro.errors import ConfigError, KeyNotFoundError
+from repro.lsm.engine import LSMConfig, LSMEngine
+from repro.metrics.counters import compute_wa
+
+
+def key(i: int) -> bytes:
+    return i.to_bytes(8, "big")
+
+
+def value(rng, size=120):
+    return rng.randbytes(size // 2) + bytes(size - size // 2)
+
+
+def make_config(**overrides) -> LSMConfig:
+    base = dict(
+        memtable_bytes=16 << 10,
+        level_base_bytes=64 << 10,
+        table_target_bytes=16 << 10,
+        log_blocks=1024,
+        log_flush_policy="commit",
+    )
+    base.update(overrides)
+    return LSMConfig(**base)
+
+
+def make_engine(device=None, **overrides):
+    device = device or CompressedBlockDevice(num_blocks=300_000)
+    return LSMEngine(device, make_config(**overrides)), device
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        LSMConfig(memtable_bytes=0).validate()
+    with pytest.raises(ConfigError):
+        LSMConfig(level_size_ratio=1.0).validate()
+    with pytest.raises(ConfigError):
+        LSMConfig(wal_mode="sparse").validate()  # LSM models RocksDB: packed
+
+
+def test_put_get_within_memtable():
+    engine, _ = make_engine()
+    engine.put(key(1), b"v")
+    assert engine.get(key(1)) == b"v"
+    assert engine.get(key(2)) is None
+
+
+def test_delete_semantics():
+    engine, _ = make_engine()
+    engine.put(key(1), b"v")
+    engine.delete(key(1))
+    assert engine.get(key(1)) is None
+    with pytest.raises(KeyNotFoundError):
+        engine.delete_checked(key(1))
+
+
+def test_get_spans_flushed_tables():
+    engine, _ = make_engine()
+    rng = random.Random(0)
+    expected = {}
+    for i in range(3000):
+        k = key(i)
+        expected[k] = value(rng, 60)
+        engine.put(k, expected[k])
+        engine.commit()
+    assert engine.memtable_flushes > 0
+    for k, v in list(expected.items())[::17]:
+        assert engine.get(k) == v
+
+
+def test_newest_version_wins_across_levels():
+    engine, _ = make_engine()
+    rng = random.Random(1)
+    for round_no in range(6):
+        for i in range(500):
+            engine.put(key(i), f"round-{round_no}-{i}".encode())
+            engine.commit()
+    for i in range(0, 500, 13):
+        assert engine.get(key(i)) == f"round-5-{i}".encode()
+
+
+def test_deletes_survive_compaction():
+    engine, _ = make_engine()
+    rng = random.Random(2)
+    for i in range(2000):
+        engine.put(key(i), value(rng, 60))
+        engine.commit()
+    for i in range(0, 2000, 2):
+        engine.delete(key(i))
+        engine.commit()
+    engine.flush_memtable()
+    for i in range(0, 2000, 20):
+        assert engine.get(key(i)) is None, i
+        assert engine.get(key(i + 1)) is not None
+
+
+def test_scan_merged_view():
+    engine, _ = make_engine()
+    rng = random.Random(3)
+    expected = {}
+    for i in rng.sample(range(20_000), 3000):
+        expected[key(i)] = value(rng, 40)
+        engine.put(key(i), expected[key(i)])
+        engine.commit()
+    start = key(5000)
+    got = engine.scan(start, 100)
+    want = sorted((k, v) for k, v in expected.items() if k >= start)[:100]
+    assert got == want
+
+
+def test_items_equals_reference():
+    engine, _ = make_engine()
+    rng = random.Random(4)
+    reference = {}
+    for _ in range(8000):
+        k = key(rng.randrange(2500))
+        if rng.random() < 0.2 and reference:
+            victim = rng.choice(sorted(reference))
+            engine.delete(victim)
+            del reference[victim]
+        else:
+            v = value(rng, rng.randrange(16, 120))
+            engine.put(k, v)
+            reference[k] = v
+        engine.commit()
+    assert dict(engine.items()) == reference
+
+
+def test_levels_form_and_respect_targets():
+    engine, _ = make_engine()
+    rng = random.Random(5)
+    for i in range(12_000):
+        engine.put(key(rng.randrange(6000)), value(rng, 100))
+        engine.commit()
+    shape = engine.level_shape()
+    assert engine.versions.num_nonempty_levels() >= 3
+    # Leveled invariant: L1 within ~2x of its target after compactions.
+    assert shape[1] <= 2.5 * engine.config.level_base_bytes
+    assert engine.compactions_run > 0
+
+
+def test_compaction_reclaims_space():
+    """Old table extents are trimmed; physical usage tracks live data."""
+    engine, device = make_engine()
+    rng = random.Random(6)
+    for _ in range(3):
+        for i in range(1500):  # overwrite the same keys repeatedly
+            engine.put(key(i), value(rng, 100))
+            engine.commit()
+    live = device.physical_bytes_used
+    written = device.stats.physical_bytes_written
+    assert live < written / 2  # most history reclaimed by TRIM
+
+
+def test_wal_replay_after_crash():
+    engine, device = make_engine()
+    rng = random.Random(7)
+    committed = {}
+    for i in range(4000):
+        k = key(rng.randrange(1200))
+        v = value(rng, rng.randrange(16, 120))
+        engine.put(k, v)
+        committed[k] = v
+        engine.commit()
+    device.simulate_crash(survives=lambda lba: rng.random() < 0.5)
+    recovered = LSMEngine.open(device, make_config())
+    assert dict(recovered.items()) == committed
+
+
+def test_crash_loses_uncommitted_tail():
+    engine, device = make_engine()
+    engine.put(key(1), b"committed")
+    engine.commit()
+    engine.put(key(2), b"uncommitted")
+    device.simulate_crash()
+    recovered = LSMEngine.open(device, make_config())
+    assert recovered.get(key(1)) == b"committed"
+    assert recovered.get(key(2)) is None
+
+
+def test_reopen_after_clean_close():
+    engine, device = make_engine()
+    rng = random.Random(8)
+    expected = {key(i): value(rng, 80) for i in range(2000)}
+    for k, v in expected.items():
+        engine.put(k, v)
+        engine.commit()
+    engine.close()
+    reopened = LSMEngine.open(device, make_config())
+    assert dict(reopened.items()) == expected
+    # And it keeps working after reopen.
+    reopened.put(key(99999), b"fresh")
+    assert reopened.get(key(99999)) == b"fresh"
+
+
+def test_repeated_crashes():
+    device = CompressedBlockDevice(num_blocks=300_000)
+    engine = LSMEngine(device, make_config())
+    rng = random.Random(9)
+    committed = {}
+    for round_no in range(3):
+        for _ in range(1500):
+            k = key(rng.randrange(800))
+            v = value(rng, 64)
+            engine.put(k, v)
+            committed[k] = v
+            engine.commit()
+        device.simulate_crash(survives=lambda lba: rng.random() < 0.5)
+        engine = LSMEngine.open(device, make_config())
+        assert dict(engine.items()) == committed, f"round {round_no}"
+
+
+def test_traffic_decomposition():
+    engine, device = make_engine()
+    rng = random.Random(10)
+    for i in range(5000):
+        engine.put(key(rng.randrange(1500)), value(rng))
+        engine.commit()
+    snap = engine.traffic_snapshot()
+    assert snap.page_logical == engine.flush_logical + engine.compact_logical
+    report = compute_wa(snap)
+    assert report.wa_total > 1.0
+    assert report.wa_total < report.wa_total_logical  # compression helps
+    assert device.stats.physical_bytes_written >= snap.total_physical
+
+
+def test_wal_none_mode():
+    engine, _ = make_engine(wal_mode="none")
+    engine.put(key(1), b"v")
+    engine.commit()
+    assert engine.traffic_snapshot().log_logical == 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 2**32))
+def test_property_lsm_matches_dict(seed):
+    rng = random.Random(seed)
+    engine, _ = make_engine()
+    reference = {}
+    for _ in range(rng.randrange(500, 2500)):
+        k = key(rng.randrange(600))
+        action = rng.random()
+        if action < 0.2 and reference:
+            victim = rng.choice(sorted(reference))
+            engine.delete(victim)
+            del reference[victim]
+        elif action < 0.25:
+            probe = key(rng.randrange(600))
+            assert engine.get(probe) == reference.get(probe)
+        else:
+            v = value(rng, rng.randrange(8, 120))
+            engine.put(k, v)
+            reference[k] = v
+        engine.commit()
+    assert dict(engine.items()) == reference

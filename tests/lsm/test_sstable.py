@@ -1,0 +1,189 @@
+"""Unit tests for SSTables and the extent allocator."""
+
+import pytest
+
+from repro.csd.device import BLOCK_SIZE, CompressedBlockDevice
+from repro.errors import LsmError
+from repro.lsm.sstable import (
+    ExtentAllocator,
+    SSTableReader,
+    SSTableWriter,
+)
+from repro.sim.rng import DeterministicRng
+
+
+def key(i: int) -> bytes:
+    return i.to_bytes(8, "big")
+
+
+@pytest.fixture
+def device():
+    return CompressedBlockDevice(num_blocks=4096)
+
+
+@pytest.fixture
+def allocator():
+    return ExtentAllocator(0, 4096)
+
+
+def build_table(device, allocator, records, table_id=1, seq=1):
+    writer = SSTableWriter(device, allocator, table_id, seq, len(records) or 1)
+    for k, v in records:
+        writer.add(k, v)
+    meta, logical, physical = writer.finish()
+    return SSTableReader.open(device, meta.start_block, meta.num_blocks), meta
+
+
+# --------------------------------------------------------------- allocator
+
+
+def test_allocator_basic():
+    alloc = ExtentAllocator(10, 100)
+    a = alloc.allocate(10)
+    b = alloc.allocate(20)
+    assert a == 10 and b == 20
+    assert alloc.free_blocks == 70
+
+
+def test_allocator_free_coalesces():
+    alloc = ExtentAllocator(0, 100)
+    a = alloc.allocate(10)
+    b = alloc.allocate(10)
+    alloc.free(a, 10)
+    alloc.free(b, 10)
+    assert alloc.allocate(100) == 0  # whole pool contiguous again
+
+
+def test_allocator_exhaustion():
+    alloc = ExtentAllocator(0, 10)
+    alloc.allocate(10)
+    with pytest.raises(LsmError):
+        alloc.allocate(1)
+
+
+def test_allocator_first_fit_reuses_gap():
+    alloc = ExtentAllocator(0, 100)
+    a = alloc.allocate(10)
+    alloc.allocate(10)
+    alloc.free(a, 10)
+    assert alloc.allocate(5) == a
+
+
+def test_allocator_mark_used():
+    alloc = ExtentAllocator(0, 100)
+    alloc.mark_used(20, 10)
+    assert alloc.free_blocks == 90
+    with pytest.raises(LsmError):
+        alloc.mark_used(25, 10)  # overlaps an already-used range
+
+
+def test_allocator_validation():
+    with pytest.raises(ValueError):
+        ExtentAllocator(0, 0)
+    with pytest.raises(ValueError):
+        ExtentAllocator(0, 10).allocate(0)
+
+
+# ----------------------------------------------------------------- tables
+
+
+def test_write_read_roundtrip(device, allocator):
+    records = [(key(i), bytes([i % 256]) * 20) for i in range(500)]
+    reader, meta = build_table(device, allocator, records)
+    assert meta.n_records == 500
+    assert meta.min_key == key(0)
+    assert meta.max_key == key(499)
+    for k, v in records:
+        assert reader.get(k) == (True, v)
+    assert list(reader.iter_all()) == records
+
+
+def test_get_absent_key(device, allocator):
+    reader, _ = build_table(device, allocator, [(key(2), b"v"), (key(4), b"v")])
+    assert reader.get(key(3)) == (False, None)
+    assert reader.get(key(0)) == (False, None)
+    assert reader.get(key(9)) == (False, None)
+
+
+def test_tombstones_roundtrip(device, allocator):
+    records = [(key(1), b"v"), (key(2), None), (key(3), b"w")]
+    reader, _ = build_table(device, allocator, records)
+    assert reader.get(key(2)) == (True, None)
+    assert list(reader.iter_all()) == records
+
+
+def test_unsorted_input_rejected(device, allocator):
+    writer = SSTableWriter(device, allocator, 1, 1, 10)
+    writer.add(key(5), b"v")
+    with pytest.raises(LsmError):
+        writer.add(key(4), b"v")
+    with pytest.raises(LsmError):
+        writer.add(key(5), b"v")  # duplicates forbidden too
+
+
+def test_empty_table_rejected(device, allocator):
+    writer = SSTableWriter(device, allocator, 1, 1, 1)
+    with pytest.raises(LsmError):
+        writer.finish()
+
+
+def test_oversized_record_rejected(device, allocator):
+    writer = SSTableWriter(device, allocator, 1, 1, 1)
+    with pytest.raises(LsmError):
+        writer.add(key(1), b"x" * BLOCK_SIZE)
+
+
+def test_iter_from_midpoint(device, allocator):
+    records = [(key(i), b"v") for i in range(0, 1000, 2)]
+    reader, _ = build_table(device, allocator, records)
+    got = [k for k, _ in reader.iter_from(key(501))]
+    assert got == [key(i) for i in range(502, 1000, 2)]
+
+
+def test_multi_block_tables(device, allocator):
+    rng = DeterministicRng(1)
+    records = [(key(i), rng.random_bytes(100)) for i in range(2000)]
+    reader, meta = build_table(device, allocator, records)
+    assert meta.num_blocks > 50  # spans many data blocks
+    for k, v in records[::37]:
+        assert reader.get(k) == (True, v)
+
+
+def test_bloom_suppresses_reads_for_absent_keys(device, allocator):
+    records = [(key(i), b"v" * 50) for i in range(0, 2000, 2)]
+    reader, _ = build_table(device, allocator, records)
+    before = device.stats.read_ios
+    hits = 0
+    for i in range(1, 2000, 2):  # absent keys inside the table's range
+        hits += reader.get(key(i))[0]
+    assert hits == 0
+    reads = device.stats.read_ios - before
+    assert reads < 2000 * 0.05  # only bloom false positives touch the device
+
+
+def test_footer_corruption_detected(device, allocator):
+    _, meta = build_table(device, allocator, [(key(1), b"v")])
+    footer_lba = meta.start_block + meta.num_blocks - 1
+    device.write_block(footer_lba, b"\x00" * BLOCK_SIZE)
+    with pytest.raises(LsmError):
+        SSTableReader.open(device, meta.start_block, meta.num_blocks)
+
+
+def test_reopen_from_device(device, allocator):
+    records = [(key(i), bytes([i % 251]) * 30) for i in range(300)]
+    _, meta = build_table(device, allocator, records, table_id=7, seq=9)
+    device.flush()
+    reopened = SSTableReader.open(device, meta.start_block, meta.num_blocks)
+    assert reopened.meta.table_id == 7
+    assert reopened.meta.seq == 9
+    assert dict(reopened.iter_all()) == dict(records)
+
+
+def test_zero_padding_compresses_away(device, allocator):
+    """Half-zero record content + block padding: physical << logical."""
+    rng = DeterministicRng(2)
+    records = [(key(i), rng.random_bytes(60) + bytes(60)) for i in range(1000)]
+    before = device.stats.snapshot()
+    build_table(device, allocator, records)
+    delta = device.stats.delta(before)
+    assert delta.physical_bytes_written < 0.7 * delta.logical_bytes_written

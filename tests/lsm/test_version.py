@@ -1,0 +1,137 @@
+"""Unit tests for level bookkeeping and compaction scheduling."""
+
+import pytest
+
+from repro.csd.device import BLOCK_SIZE
+from repro.errors import CompactionError
+from repro.lsm.sstable import SSTableMeta, SSTableReader
+from repro.lsm.version import VersionSet
+
+
+def key(i: int) -> bytes:
+    return i.to_bytes(8, "big")
+
+
+def fake_table(table_id, seq, lo, hi, nblocks=8):
+    """A reader stub: only metadata matters for version bookkeeping."""
+    meta = SSTableMeta(table_id, seq, 0, nblocks, hi - lo + 1, key(lo), key(hi))
+    return SSTableReader(device=None, meta=meta, index=[], bloom=None)
+
+
+def test_level_validation():
+    with pytest.raises(CompactionError):
+        VersionSet(max_levels=1)
+    versions = VersionSet()
+    with pytest.raises(CompactionError):
+        versions.add_table(99, fake_table(1, 1, 0, 10))
+
+
+def test_l0_allows_overlap_sorted_by_seq():
+    versions = VersionSet()
+    versions.add_table(0, fake_table(2, 20, 0, 100))
+    versions.add_table(0, fake_table(1, 10, 50, 150))
+    assert [t.meta.seq for t in versions.levels[0]] == [10, 20]
+
+
+def test_deeper_levels_reject_overlap():
+    versions = VersionSet()
+    versions.add_table(1, fake_table(1, 1, 0, 50))
+    with pytest.raises(CompactionError):
+        versions.add_table(1, fake_table(2, 2, 50, 99))
+
+
+def test_deeper_levels_sorted_by_min_key():
+    versions = VersionSet()
+    versions.add_table(1, fake_table(2, 2, 60, 99))
+    versions.add_table(1, fake_table(1, 1, 0, 50))
+    assert [t.meta.table_id for t in versions.levels[1]] == [1, 2]
+
+
+def test_remove_tables():
+    versions = VersionSet()
+    t = fake_table(1, 1, 0, 50)
+    versions.add_table(1, t)
+    versions.remove_tables(1, [t])
+    assert versions.levels[1] == []
+    with pytest.raises(CompactionError):
+        versions.remove_tables(1, [t])
+
+
+def test_level_bytes():
+    versions = VersionSet()
+    versions.add_table(1, fake_table(1, 1, 0, 50, nblocks=4))
+    assert versions.level_bytes(1) == 4 * BLOCK_SIZE
+
+
+def test_overlapping_query():
+    versions = VersionSet()
+    versions.add_table(1, fake_table(1, 1, 0, 10))
+    versions.add_table(1, fake_table(2, 2, 20, 30))
+    versions.add_table(1, fake_table(3, 3, 40, 50))
+    hits = versions.overlapping(1, key(25), key(45))
+    assert [t.meta.table_id for t in hits] == [2, 3]
+
+
+def test_tables_for_get_order():
+    """L0 newest first, then one table per deeper level."""
+    versions = VersionSet()
+    versions.add_table(0, fake_table(1, 10, 0, 100))
+    versions.add_table(0, fake_table(2, 20, 0, 100))
+    versions.add_table(1, fake_table(3, 5, 0, 50))
+    versions.add_table(2, fake_table(4, 1, 0, 50))
+    probes = versions.tables_for_get(key(25))
+    assert [t.meta.table_id for t in probes] == [2, 1, 3, 4]
+
+
+def test_tables_for_get_range_filter():
+    versions = VersionSet()
+    versions.add_table(1, fake_table(1, 1, 0, 10))
+    assert versions.tables_for_get(key(99)) == []
+
+
+def test_pick_compaction_l0_trigger():
+    versions = VersionSet()
+    for i in range(4):
+        versions.add_table(0, fake_table(i, i + 1, 0, 100))
+    overlap = fake_table(99, 1, 50, 60)
+    versions.add_table(1, overlap)
+    job = versions.pick_compaction(l0_trigger=4, level_base_bytes=1 << 30, size_ratio=10)
+    assert job is not None
+    assert job.level == 0
+    assert len(job.inputs) == 4
+    assert job.overlaps == [overlap]
+
+
+def test_pick_compaction_none_when_healthy():
+    versions = VersionSet()
+    versions.add_table(0, fake_table(1, 1, 0, 100))
+    assert versions.pick_compaction(4, 1 << 30, 10) is None
+
+
+def test_pick_compaction_size_trigger():
+    versions = VersionSet()
+    # Level 1 holds 3 tables of 8 blocks; target is 2 blocks worth of bytes.
+    for i in range(3):
+        versions.add_table(1, fake_table(i, i + 1, i * 100, i * 100 + 50))
+    job = versions.pick_compaction(4, 2 * BLOCK_SIZE, 10)
+    assert job is not None
+    assert job.level == 1
+    assert len(job.inputs) == 1
+
+
+def test_round_robin_victim_rotates():
+    versions = VersionSet()
+    for i in range(3):
+        versions.add_table(1, fake_table(i, i + 1, i * 100, i * 100 + 50))
+    seen = []
+    for _ in range(3):
+        job = versions.pick_compaction(4, 1, 10)
+        seen.append(job.inputs[0].meta.table_id)
+    assert sorted(seen) == [0, 1, 2]  # every table picked once per cycle
+
+
+def test_deepest_nonempty_level():
+    versions = VersionSet()
+    assert versions.deepest_nonempty_level() == 0
+    versions.add_table(3, fake_table(1, 1, 0, 10))
+    assert versions.deepest_nonempty_level() == 3

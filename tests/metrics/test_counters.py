@@ -1,0 +1,57 @@
+"""Unit tests for WA accounting."""
+
+import pytest
+
+from repro.metrics.counters import TrafficSnapshot, WaReport, compute_wa
+
+
+def snapshot(**kwargs):
+    base = dict(
+        user_bytes=1000,
+        log_logical=2000, log_physical=500,
+        page_logical=8000, page_physical=3000,
+        extra_logical=4000, extra_physical=100,
+    )
+    base.update(kwargs)
+    return TrafficSnapshot(**base)
+
+
+def test_totals():
+    snap = snapshot()
+    assert snap.total_logical == 14_000
+    assert snap.total_physical == 3600
+
+
+def test_delta_fieldwise():
+    early = snapshot()
+    late = snapshot(user_bytes=1500, log_physical=800)
+    delta = late.delta(early)
+    assert delta.user_bytes == 500
+    assert delta.log_physical == 300
+    assert delta.page_physical == 0
+
+
+def test_compute_wa_decomposition():
+    report = compute_wa(snapshot())
+    assert report.wa_log == 0.5
+    assert report.wa_pg == 3.0
+    assert report.wa_e == pytest.approx(0.1)
+    assert report.wa_total == pytest.approx(3.6)
+    assert report.wa_total == pytest.approx(report.wa_log + report.wa_pg + report.wa_e)
+
+
+def test_compute_wa_logical_counterparts():
+    report = compute_wa(snapshot())
+    assert report.wa_total_logical == 14.0
+    assert report.wa_log_logical == 2.0
+
+
+def test_compute_wa_no_user_bytes():
+    report = compute_wa(TrafficSnapshot())
+    assert report.wa_total == 0.0
+    assert report.user_bytes == 0
+
+
+def test_str_formatting():
+    text = str(compute_wa(snapshot()))
+    assert "WA=3.60" in text

@@ -1,0 +1,91 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_custom_start_time():
+    assert SimClock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_advance_accumulates():
+    clock = SimClock()
+    clock.advance(1.5)
+    clock.advance(0.5)
+    assert clock.now == pytest.approx(2.0)
+
+
+def test_advance_returns_new_time():
+    clock = SimClock()
+    assert clock.advance(3.0) == pytest.approx(3.0)
+
+
+def test_negative_advance_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+
+
+def test_zero_advance_allowed():
+    clock = SimClock()
+    clock.advance(0.0)
+    assert clock.now == 0.0
+
+
+def test_advance_to_future():
+    clock = SimClock()
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+
+
+def test_advance_to_past_is_noop():
+    clock = SimClock(10.0)
+    clock.advance_to(5.0)
+    assert clock.now == 10.0
+
+
+def test_alarm_fires_after_interval():
+    clock = SimClock()
+    clock.set_alarm("flush", 60.0)
+    assert not clock.alarm_due("flush")
+    clock.advance(59.9)
+    assert not clock.alarm_due("flush")
+    clock.advance(0.2)
+    assert clock.alarm_due("flush")
+
+
+def test_alarm_rearm_moves_deadline():
+    clock = SimClock()
+    clock.set_alarm("flush", 10.0)
+    clock.advance(10.0)
+    assert clock.alarm_due("flush")
+    clock.set_alarm("flush", 10.0)
+    assert not clock.alarm_due("flush")
+
+
+def test_unknown_alarm_not_due():
+    assert not SimClock().alarm_due("nope")
+
+
+def test_clear_alarm():
+    clock = SimClock()
+    clock.set_alarm("flush", 1.0)
+    clock.clear_alarm("flush")
+    clock.advance(2.0)
+    assert not clock.alarm_due("flush")
+
+
+def test_nonpositive_alarm_interval_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.set_alarm("bad", 0.0)

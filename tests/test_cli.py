@@ -1,0 +1,56 @@
+"""Tests for the ad-hoc CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def small(*extra):
+    return list(extra) + ["--records", "3000", "--steady-ops", "2000"]
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_command(capsys):
+    assert main(["run", "--system", "bminus"] + small()) == 0
+    out = capsys.readouterr().out
+    assert "Write amplification" in out
+    assert "bminus" in out
+    assert "WA_pg" in out
+
+
+def test_run_rejects_unknown_system():
+    with pytest.raises(SystemExit):
+        main(["run", "--system", "leveldb"] + small())
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "--systems", "bminus,rocksdb"] + small()) == 0
+    out = capsys.readouterr().out
+    assert "bminus" in out and "rocksdb" in out
+
+
+def test_speed_command(capsys):
+    rc = main(["speed", "--systems", "bminus", "--workload", "read",
+               "--threads", "4"] + small())
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "TPS" in out
+
+
+def test_run_with_knobs(capsys):
+    rc = main(["run", "--system", "bminus", "--threshold-t", "1024",
+               "--segment-size", "256", "--record-size", "32",
+               "--log-policy", "commit"] + small())
+    assert rc == 0
+    assert "beta" in capsys.readouterr().out
+
+
+def test_run_with_zipf_distribution(capsys):
+    rc = main(["run", "--system", "bminus", "--distribution", "zipf",
+               "--theta", "0.9"] + small())
+    assert rc == 0
+    assert "Write amplification" in capsys.readouterr().out

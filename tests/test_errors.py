@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_device_errors_grouped():
+    for cls in (errors.OutOfRangeError, errors.AlignmentError,
+                errors.CapacityError, errors.TornWriteError):
+        assert issubclass(cls, errors.DeviceError)
+
+
+def test_key_not_found_is_a_key_error():
+    """Callers can catch it either as a library error or a builtin KeyError."""
+    assert issubclass(errors.KeyNotFoundError, KeyError)
+    assert issubclass(errors.KeyNotFoundError, errors.TreeError)
+
+
+def test_page_errors_grouped():
+    assert issubclass(errors.PageFullError, errors.PageError)
+    assert issubclass(errors.PageFormatError, errors.PageError)
+
+
+def test_lsm_errors_grouped():
+    assert issubclass(errors.CompactionError, errors.LsmError)
+
+
+def test_single_except_clause_catches_everything():
+    with pytest.raises(errors.ReproError):
+        raise errors.ChecksumError("boom")
+    with pytest.raises(errors.ReproError):
+        raise errors.WalError("boom")
+    with pytest.raises(errors.ReproError):
+        raise errors.ConfigError("boom")
