@@ -11,6 +11,7 @@ from conftest import emit, scaled
 
 from repro.bench.harness import ExperimentSpec, full_mode, run_wa_experiment
 from repro.bench.paper import FIG10_WA_32B_4T
+from repro.bench.parallel import run_grid
 from repro.bench.reporting import format_table
 
 CACHE_FRACTION = 15.0 / 500.0
@@ -32,14 +33,14 @@ def records_for(record_size):
 
 def run_fig10():
     record_sizes, threads, systems, page_sizes = grid()
-    results = {}
+    specs = {}
     for page_size in page_sizes:
         for record_size in record_sizes:
             for system in systems:
                 if system == "rocksdb" and page_size != page_sizes[0]:
                     continue  # page size is a B-tree-only knob
                 for t in threads:
-                    spec = ExperimentSpec(
+                    specs[(page_size, record_size, system, t)] = ExperimentSpec(
                         system=system,
                         n_records=records_for(record_size),
                         record_size=record_size,
@@ -49,8 +50,7 @@ def run_fig10():
                         steady_ops=min(records_for(record_size), scaled(60_000)),
                         log_flush_policy="interval",
                     )
-                    results[(page_size, record_size, system, t)] = run_wa_experiment(spec)
-    return results
+    return run_grid(specs)  # fans out across REPRO_JOBS workers
 
 
 def test_fig10_wa_500g(once):

@@ -8,7 +8,8 @@ the grid.
 
 from conftest import emit, scaled
 
-from repro.bench.harness import ExperimentSpec, full_mode, run_wa_experiment
+from repro.bench.harness import ExperimentSpec, full_mode
+from repro.bench.parallel import run_grid
 from repro.bench.reporting import format_table
 
 
@@ -21,14 +22,14 @@ def grid():
 
 def run_fig12():
     record_sizes, threads, systems = grid()
-    results = {}
+    specs = {}
     for record_size in record_sizes:
         for system in systems:
             for t in threads:
                 for policy in ("commit", "interval"):
                     if policy == "interval" and (t != threads[0] or record_size != 128):
                         continue  # one per-minute reference point per system
-                    spec = ExperimentSpec(
+                    specs[(record_size, system, t, policy)] = ExperimentSpec(
                         system=system,
                         n_records=scaled(40_000),
                         record_size=record_size,
@@ -36,8 +37,7 @@ def run_fig12():
                         steady_ops=scaled(30_000),
                         log_flush_policy=policy,
                     )
-                    results[(record_size, system, t, policy)] = run_wa_experiment(spec)
-    return results
+    return run_grid(specs)  # fans out across REPRO_JOBS workers
 
 
 def test_fig12_wa_per_commit(once):

@@ -8,8 +8,9 @@ rises (flush coalescing) while RocksDB's stays roughly flat.
 
 from conftest import emit, scaled
 
-from repro.bench.harness import ExperimentSpec, full_mode, run_wa_experiment
+from repro.bench.harness import ExperimentSpec, full_mode
 from repro.bench.paper import FIG4_WA
+from repro.bench.parallel import run_grid
 from repro.bench.reporting import format_series
 
 
@@ -18,18 +19,17 @@ def thread_counts():
 
 
 def run_fig4():
-    results = {}
+    specs = {}
     for system in ("rocksdb", "wiredtiger"):
         for threads in thread_counts():
-            spec = ExperimentSpec(
+            specs[(system, threads)] = ExperimentSpec(
                 system=system,
                 n_records=scaled(40_000),
                 record_size=128,
                 n_threads=threads,
                 steady_ops=scaled(40_000),
             )
-            results[(system, threads)] = run_wa_experiment(spec)
-    return results
+    return run_grid(specs)  # fans out across REPRO_JOBS workers
 
 
 def test_fig4_motivation_wa(once):

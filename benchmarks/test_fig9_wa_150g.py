@@ -12,8 +12,9 @@ D_s = 256B).  Expected shapes:
 
 from conftest import emit, scaled
 
-from repro.bench.harness import ExperimentSpec, full_mode, run_wa_experiment
+from repro.bench.harness import ExperimentSpec, full_mode
 from repro.bench.paper import FIG9_WA_8K
+from repro.bench.parallel import run_grid
 from repro.bench.reporting import format_table
 
 
@@ -33,12 +34,12 @@ def records_for(record_size):
 
 def run_fig9():
     record_sizes, threads, systems, page_sizes = grid()
-    results = {}
+    specs = {}
     for page_size in page_sizes:
         for record_size in record_sizes:
             for system in systems:
                 for t in threads:
-                    spec = ExperimentSpec(
+                    specs[(page_size, record_size, system, t)] = ExperimentSpec(
                         system=system,
                         n_records=records_for(record_size),
                         record_size=record_size,
@@ -47,8 +48,7 @@ def run_fig9():
                         steady_ops=min(records_for(record_size), scaled(60_000)),
                         log_flush_policy="interval",
                     )
-                    results[(page_size, record_size, system, t)] = run_wa_experiment(spec)
-    return results
+    return run_grid(specs)  # fans out across REPRO_JOBS workers
 
 
 def test_fig9_wa_150g(once):

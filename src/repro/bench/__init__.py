@@ -7,6 +7,7 @@ from repro.bench.harness import (
     run_speed_experiment,
     run_wa_experiment,
 )
+from repro.bench.parallel import default_jobs, run_grid, run_specs
 from repro.bench.reporting import format_series, format_table
 from repro.bench.speed import SpeedModel
 
@@ -15,8 +16,11 @@ __all__ = [
     "ExperimentSpec",
     "SpeedModel",
     "build_engine",
+    "default_jobs",
     "format_series",
     "format_table",
+    "run_grid",
+    "run_specs",
     "run_speed_experiment",
     "run_wa_experiment",
 ]

@@ -21,7 +21,11 @@ from typing import Optional
 
 from repro.btree.engine import BTreeConfig, BTreeEngine
 from repro.core.bminus import BMinusConfig, BMinusTree
-from repro.csd.compression import ZeroRunEstimator, ZlibCompressor
+from repro.csd.compression import (
+    SizeCachingCompressor,
+    ZeroRunEstimator,
+    ZlibCompressor,
+)
 from repro.csd.device import BLOCK_SIZE, CompressedBlockDevice
 from repro.errors import ConfigError
 from repro.lsm.engine import LSMConfig, LSMEngine
@@ -57,6 +61,16 @@ def fast_mode() -> bool:
 def full_mode() -> bool:
     """REPRO_FULL=1 expands benchmark grids to the paper's full sweeps."""
     return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def size_cache_enabled() -> bool:
+    """REPRO_SIZE_CACHE=0 disables the compressed-size LRU cache.
+
+    The cache is on by default: it returns bit-identical sizes to plain zlib
+    and only skips recompressing repeated block contents.  Disabling it exists
+    for perf A/B measurement (``repro.bench.regression``) and debugging.
+    """
+    return os.environ.get("REPRO_SIZE_CACHE", "1") != "0"
 
 
 @dataclass
@@ -146,7 +160,15 @@ def _compressor(spec: "ExperimentSpec" = None):
         from repro.csd.compression import NullCompressor
 
         return NullCompressor()
-    return ZeroRunEstimator(entropy_factor=0.98) if fast_mode() else ZlibCompressor(1)
+    if fast_mode():
+        # The estimator is already ~50x faster than zlib; wrap nothing so its
+        # instance semantics (plain ZeroRunEstimator) stay unchanged.
+        return ZeroRunEstimator(entropy_factor=0.98)
+    zlib_compressor = ZlibCompressor(1)
+    if size_cache_enabled():
+        # Bit-identical to plain zlib; repeated block contents skip zlib.
+        return SizeCachingCompressor(zlib_compressor)
+    return zlib_compressor
 
 
 def build_engine(spec: ExperimentSpec):

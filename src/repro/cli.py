@@ -22,6 +22,7 @@ from repro.bench.harness import (
     run_speed_experiment,
     run_wa_experiment,
 )
+from repro.bench.parallel import default_jobs, run_specs
 from repro.bench.reporting import format_table
 from repro.bench.speed import SpeedModel
 
@@ -122,12 +123,23 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    """``repro compare``: measure WA for several systems side by side."""
+    """``repro compare``: measure WA for several systems side by side.
+
+    With ``--jobs N`` (or ``REPRO_JOBS=N``) the systems run as independent
+    worker processes; results are merged in the order the systems were named.
+    """
     systems = [s.strip() for s in args.systems.split(",") if s.strip()]
-    rows = []
-    for system in systems:
-        print(f"running {system} ...", file=sys.stderr)
-        rows.append(_wa_row(_run_wa(args, system)))
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if jobs > 1 and args.distribution == "uniform":
+        print(f"running {len(systems)} systems across {jobs} jobs ...",
+              file=sys.stderr)
+        specs = [_spec_from_args(args, system) for system in systems]
+        rows = [_wa_row(result) for result in run_specs(specs, jobs=jobs)]
+    else:
+        rows = []
+        for system in systems:
+            print(f"running {system} ...", file=sys.stderr)
+            rows.append(_wa_row(_run_wa(args, system)))
     print(format_table(
         f"Write amplification, {args.record_size}B records, "
         f"{args.threads} threads, log-flush-per-{args.log_policy}",
@@ -157,6 +169,17 @@ def cmd_speed(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: run the perf-regression micro-benchmarks.
+
+    Normally short-circuited in :func:`main` (argparse's ``REMAINDER`` cannot
+    start with an option-like token); kept for programmatic parser use.
+    """
+    from repro.bench.regression import main as regression_main
+
+    return regression_main(args.bench_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -173,8 +196,17 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p = sub.add_parser("compare", help="measure WA for several systems")
     cmp_p.add_argument("--systems", default="rocksdb,wiredtiger,bminus",
                        help="comma-separated system list")
+    cmp_p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for independent experiment "
+                            "points (default: REPRO_JOBS or 1)")
     _add_spec_arguments(cmp_p)
     cmp_p.set_defaults(func=cmd_compare)
+
+    bench_p = sub.add_parser(
+        "bench", help="perf micro-benchmarks (see repro.bench.regression)")
+    bench_p.add_argument("bench_args", nargs=argparse.REMAINDER,
+                         help="arguments forwarded to repro.bench.regression")
+    bench_p.set_defaults(func=cmd_bench)
 
     spd_p = sub.add_parser("speed", help="estimate TPS for several systems")
     spd_p.add_argument("--systems", default="rocksdb,wiredtiger,bminus")
@@ -189,6 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["bench"] and argv[1:2] != ["-h"] and argv[1:2] != ["--help"]:
+        # Forward everything after `bench` verbatim: argparse REMAINDER
+        # rejects a leading option-like token (`repro bench --check`).
+        from repro.bench.regression import main as regression_main
+
+        return regression_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

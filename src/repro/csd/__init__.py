@@ -11,7 +11,9 @@ computed from).
 from repro.csd.compression import (
     Compressor,
     NullCompressor,
+    SizeCachingCompressor,
     ZeroRunEstimator,
+    ZeroTailZlibCompressor,
     ZlibCompressor,
 )
 from repro.csd.device import (
@@ -37,6 +39,8 @@ __all__ = [
     "HostCostModel",
     "NullCompressor",
     "PlainSSD",
+    "SizeCachingCompressor",
     "ZeroRunEstimator",
+    "ZeroTailZlibCompressor",
     "ZlibCompressor",
 ]

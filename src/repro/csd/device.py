@@ -13,6 +13,16 @@ Durability semantics mirror what the three B⁻-tree techniques rely on:
 * writes become durable at the next :meth:`flush` (fsync);
 * :meth:`simulate_crash` discards — or, for torn-write experiments, partially
   applies — all writes issued since the last flush.
+
+Hot-path notes: every benchmark figure funnels through the write path here,
+so it is engineered to avoid per-block copies.  Multi-block writes slice the
+request buffer with ``memoryview`` (zero-copy; the compressor and the FTL
+consume buffer slices directly) and batch their FTL accounting through
+:meth:`FlashTranslationLayer.record_writes`.  The volatile write buffer is an
+*ordered pending journal*: a rewrite of a pending LBA moves its entry to the
+journal tail, so :meth:`flush` and :meth:`simulate_crash` replay pending
+updates in last-write order, and the stale 4KB payloads of overwritten
+entries are dropped without ever being materialised as ``bytes``.
 """
 
 from __future__ import annotations
@@ -20,7 +30,12 @@ from __future__ import annotations
 from abc import ABC
 from typing import Callable, Optional
 
-from repro.csd.compression import Compressor, NullCompressor, ZlibCompressor
+from repro.csd.compression import (
+    Compressor,
+    NullCompressor,
+    SizeCachingCompressor,
+    ZlibCompressor,
+)
 from repro.csd.ftl import FlashTranslationLayer, GreedyGcModel
 from repro.csd.stats import DeviceStats
 from repro.errors import AlignmentError, OutOfRangeError
@@ -34,12 +49,26 @@ _ZERO_BLOCK = bytes(BLOCK_SIZE)
 _TRIMMED = None
 
 
+def default_compressor() -> Compressor:
+    """The drive's default engine: real zlib behind the compressed-size cache.
+
+    The cache returns bit-identical sizes to plain zlib; it only removes the
+    redundant recompression of repeated block contents.
+    """
+    return SizeCachingCompressor(ZlibCompressor())
+
+
 class BlockDevice(ABC):
     """Common interface of the simulated devices.
 
     All addressing is in whole 4KB blocks; partial-block I/O raises
     :class:`AlignmentError` by construction of the API (callers pass block
     counts, never byte offsets).
+
+    IOPS semantics: one call to any I/O method is one device command and
+    charges exactly one ``write_ios`` / ``read_ios`` / ``trim_ios``,
+    regardless of how many blocks it spans; per-block volume is charged to
+    ``blocks_written`` / ``blocks_read`` (see :class:`DeviceStats`).
     """
 
     block_size = BLOCK_SIZE
@@ -63,12 +92,14 @@ class BlockDevice(ABC):
         else:
             self.ftl = FlashTranslationLayer(capacity, self.stats, gc_model, mapping_cost)
         self._stable: dict[int, bytes] = {}
+        # Ordered pending journal: insertion order is (last-)write order; a
+        # rewrite re-appends its entry at the tail (see _journal_put).
         self._pending: dict[int, Optional[bytes]] = {}
 
     # ------------------------------------------------------------------ I/O
 
-    def write_block(self, lba: int, data: bytes) -> int:
-        """Write one 4KB block atomically.
+    def write_block(self, lba: int, data) -> int:
+        """Write one 4KB block atomically (one request, one block).
 
         Returns the post-compression bytes charged for the write, so callers
         can attribute physical write volume to traffic categories (the
@@ -79,17 +110,24 @@ class BlockDevice(ABC):
                 f"block write must be exactly {BLOCK_SIZE} bytes, got {len(data)}"
             )
         self._check_range(lba, 1)
-        data = bytes(data)
+        if not isinstance(data, bytes):
+            data = bytes(data)
         self.stats.write_ios += 1
+        self.stats.blocks_written += 1
         self.stats.logical_bytes_written += BLOCK_SIZE
         physical = self.ftl.record_write(lba, self.compressor.compressed_size(data))
-        self._pending[lba] = data
+        self._journal_put(lba, data)
         return physical
 
-    def write_blocks(self, lba: int, data: bytes) -> int:
-        """Write a contiguous run of blocks; each block is individually atomic.
+    def write_blocks(self, lba: int, data) -> int:
+        """Write a contiguous run of blocks as one request.
 
-        Returns the total post-compression bytes charged.
+        Each 4KB block within the request is individually atomic (a crash can
+        apply a prefix/subset — the torn multi-block write).  The request is
+        one device command: one ``write_ios``, ``count`` ``blocks_written``.
+        The buffer is sliced with ``memoryview`` — no per-block copies — and
+        FTL accounting is batched.  Returns the total post-compression bytes
+        charged.
         """
         if len(data) % BLOCK_SIZE != 0:
             raise AlignmentError(
@@ -97,30 +135,40 @@ class BlockDevice(ABC):
             )
         count = len(data) // BLOCK_SIZE
         self._check_range(lba, count)
+        if not isinstance(data, bytes):
+            data = bytes(data)
+        view = memoryview(data)
+        compressed_size = self.compressor.compressed_size
+        chunks = [
+            view[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE] for i in range(count)
+        ]
+        sizes = [compressed_size(chunk) for chunk in chunks]
         self.stats.write_ios += 1
-        physical = 0
-        for i in range(count):
-            chunk = bytes(data[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE])
-            self.stats.logical_bytes_written += BLOCK_SIZE
-            physical += self.ftl.record_write(
-                lba + i, self.compressor.compressed_size(chunk)
-            )
-            self._pending[lba + i] = chunk
+        self.stats.blocks_written += count
+        self.stats.logical_bytes_written += count * BLOCK_SIZE
+        physical = self.ftl.record_writes(lba, sizes)
+        journal_put = self._journal_put
+        for i, chunk in enumerate(chunks):
+            journal_put(lba + i, chunk)
         return physical
 
     def read_block(self, lba: int) -> bytes:
         """Read one 4KB block; unwritten or trimmed blocks read as zeros."""
         self._check_range(lba, 1)
         self.stats.read_ios += 1
-        return self._fetch(lba)
+        self.stats.blocks_read += 1
+        data = self._fetch(lba)
+        return data if isinstance(data, bytes) else bytes(data)
 
     def read_blocks(self, lba: int, count: int) -> bytes:
-        """Read ``count`` contiguous blocks as one request."""
+        """Read ``count`` contiguous blocks as one request (one ``read_ios``)."""
         if count <= 0:
             raise ValueError("read count must be positive")
         self._check_range(lba, count)
         self.stats.read_ios += 1
-        return b"".join(self._fetch(lba + i) for i in range(count))
+        self.stats.blocks_read += count
+        fetch = self._fetch
+        return b"".join(fetch(lba + i) for i in range(count))
 
     def trim(self, lba: int, count: int = 1) -> None:
         """Deallocate ``count`` blocks; they read back as zeros afterwards."""
@@ -131,18 +179,22 @@ class BlockDevice(ABC):
         self.stats.bytes_trimmed += count * BLOCK_SIZE
         for i in range(count):
             self.ftl.record_trim(lba + i)
-            self._pending[lba + i] = _TRIMMED
+            self._journal_put(lba + i, _TRIMMED)
 
     def flush(self) -> None:
-        """Durability barrier: make all buffered writes/TRIMs crash-safe."""
+        """Durability barrier: make all buffered writes/TRIMs crash-safe.
+
+        Replays the ordered pending journal (one entry per LBA, in last-write
+        order); superseded intermediate payloads were already dropped at
+        write time, so the walk is exactly one pass over the live entries.
+        """
         self.stats.flush_ios += 1
+        stable = self._stable
         for lba, data in self._pending.items():
-            if data is _TRIMMED:
-                self._stable.pop(lba, None)
-            elif data == _ZERO_BLOCK:
-                self._stable.pop(lba, None)
+            if data is _TRIMMED or data == _ZERO_BLOCK:
+                stable.pop(lba, None)
             else:
-                self._stable[lba] = data
+                stable[lba] = data if isinstance(data, bytes) else bytes(data)
         self._pending.clear()
 
     # ------------------------------------------------------- crash testing
@@ -155,7 +207,8 @@ class BlockDevice(ABC):
         ``survives(lba)`` may let individual pending 4KB block writes reach
         stable storage anyway (each block is atomic, but a multi-block write
         can land partially — this is exactly the torn page write the paper's
-        shadowing defends against).  Returns the LBAs whose pending update
+        shadowing defends against).  Pending entries are considered in
+        journal (last-write) order.  Returns the LBAs whose pending update
         was lost, and leaves the device ready for recovery reads.
 
         Note: FTL live-byte accounting is not rolled back for lost writes;
@@ -167,7 +220,7 @@ class BlockDevice(ABC):
                 if data is _TRIMMED or data == _ZERO_BLOCK:
                     self._stable.pop(lba, None)
                 else:
-                    self._stable[lba] = data
+                    self._stable[lba] = data if isinstance(data, bytes) else bytes(data)
             else:
                 lost.append(lba)
         self._pending.clear()
@@ -187,7 +240,19 @@ class BlockDevice(ABC):
 
     # ----------------------------------------------------------- internals
 
-    def _fetch(self, lba: int) -> bytes:
+    def _journal_put(self, lba: int, data: Optional[bytes]) -> None:
+        """Append an update to the ordered pending journal (last write wins).
+
+        Re-writing a pending LBA removes its old entry and re-appends at the
+        tail, keeping dict iteration order equal to last-write order while
+        the superseded payload becomes garbage immediately.
+        """
+        pending = self._pending
+        if lba in pending:
+            del pending[lba]
+        pending[lba] = data
+
+    def _fetch(self, lba: int):
         self.stats.logical_bytes_read += BLOCK_SIZE
         # The drive internally fetches only the live compressed extent; a
         # trimmed/never-written block costs (almost) nothing to "read".
@@ -206,7 +271,12 @@ class BlockDevice(ABC):
 
 
 class CompressedBlockDevice(BlockDevice):
-    """The computational storage drive: transparent zlib per 4KB block."""
+    """The computational storage drive: transparent zlib per 4KB block.
+
+    The default compressor is real zlib behind the compressed-size LRU cache
+    (bit-identical sizes, repeated contents skip zlib); pass an explicit
+    ``compressor`` to opt out or to swap in one of the analytic models.
+    """
 
     def __init__(
         self,
@@ -217,7 +287,7 @@ class CompressedBlockDevice(BlockDevice):
     ) -> None:
         super().__init__(
             num_blocks,
-            compressor if compressor is not None else ZlibCompressor(),
+            compressor if compressor is not None else default_compressor(),
             physical_capacity,
             gc_model,
         )

@@ -20,8 +20,14 @@ from __future__ import annotations
 import os
 from typing import Optional
 
-from repro.csd.compression import Compressor, ZlibCompressor
-from repro.csd.device import BLOCK_SIZE, BlockDevice, _TRIMMED, _ZERO_BLOCK
+from repro.csd.compression import Compressor
+from repro.csd.device import (
+    BLOCK_SIZE,
+    BlockDevice,
+    _TRIMMED,
+    _ZERO_BLOCK,
+    default_compressor,
+)
 from repro.csd.ftl import GreedyGcModel
 
 
@@ -38,7 +44,7 @@ class FileBackedBlockDevice(BlockDevice):
     ) -> None:
         super().__init__(
             num_blocks,
-            compressor if compressor is not None else ZlibCompressor(),
+            compressor if compressor is not None else default_compressor(),
             physical_capacity,
             gc_model,
         )
@@ -64,7 +70,12 @@ class FileBackedBlockDevice(BlockDevice):
     # --------------------------------------------------- storage overrides
 
     def flush(self) -> None:
-        """Durability barrier: push buffered writes/TRIMs into the file."""
+        """Durability barrier: push buffered writes/TRIMs into the file.
+
+        Replays the ordered pending journal in last-write order; payloads may
+        be ``memoryview`` slices from the zero-copy multi-block write path
+        (``file.write`` consumes them without materialising bytes).
+        """
         self.stats.flush_ios += 1
         for lba, data in self._pending.items():
             self._file.seek(lba * BLOCK_SIZE)

@@ -88,6 +88,50 @@ class FlashTranslationLayer:
             self.stats.gc_bytes_written += gc_bytes
         return physical
 
+    def record_writes(self, lba: int, sizes) -> int:
+        """Batch-account a contiguous multi-block host write.
+
+        Numerically identical to calling :meth:`record_write` once per block
+        of ``sizes`` (the GC model sees the same evolving live-byte sequence),
+        but with the per-block Python overhead hoisted: one pass, local
+        bindings, and a single stats update for the whole request.  On
+        :class:`CapacityError` the blocks preceding the failing one stay
+        recorded — matching the per-block call sequence — and the stats
+        accumulated so far are still flushed.
+
+        Returns the total physical bytes charged (extents + mapping metadata;
+        GC traffic goes to its own counter, as for single writes).
+        """
+        extents = self._extent_size
+        capacity = self.physical_capacity
+        mapping = self.mapping_cost
+        gc_model = self.gc_model
+        live = self._live_bytes
+        total_physical = 0
+        total_gc = 0
+        try:
+            for offset, size in enumerate(sizes):
+                if size < 0:
+                    raise ValueError("compressed size must be non-negative")
+                key = lba + offset
+                live = live - extents.get(key, 0) + size
+                if live > capacity:
+                    raise CapacityError(
+                        f"physical capacity exhausted: {live} live bytes > "
+                        f"{capacity} capacity"
+                    )
+                extents[key] = size
+                self._live_bytes = live
+                physical = size + mapping
+                total_physical += physical
+                if gc_model is not None:
+                    total_gc += gc_model.charge(physical, live, capacity)
+        finally:
+            self.stats.physical_bytes_written += total_physical
+            if total_gc:
+                self.stats.gc_bytes_written += total_gc
+        return total_physical
+
     def record_trim(self, lba: int) -> None:
         """Drop the mapping for ``lba``; its flash space becomes reclaimable."""
         previous = self._extent_size.pop(lba, None)

@@ -6,6 +6,14 @@ is our equivalent of that smart log: it accumulates logical (host-visible,
 pre-compression) and physical (post-compression) byte counts plus I/O counts,
 and supports snapshot/delta arithmetic so the harness can measure a single
 workload phase in isolation.
+
+IOPS semantics: the ``*_ios`` counters count device *commands* — one
+multi-block read or write request is one I/O, exactly like an NVMe command
+spanning several LBAs.  Per-block volume is tracked separately in
+``blocks_written`` / ``blocks_read`` (and, in bytes, the ``logical_bytes_*``
+counters), so request rate and transfer volume can be reasoned about
+independently — the latency model's IOPS limits apply to requests, its
+bandwidth limits to bytes.
 """
 
 from __future__ import annotations
@@ -15,7 +23,13 @@ from dataclasses import dataclass, fields
 
 @dataclass
 class DeviceStats:
-    """Cumulative device counters; all byte fields are in bytes."""
+    """Cumulative device counters; all byte fields are in bytes.
+
+    * ``write_ios`` / ``read_ios`` / ``trim_ios`` / ``flush_ios`` — device
+      commands (one per request, however many blocks it spans).
+    * ``blocks_written`` / ``blocks_read`` — 4KB blocks moved by those
+      requests (per-block volume; ``blocks_written >= write_ios``).
+    """
 
     logical_bytes_written: int = 0
     physical_bytes_written: int = 0
@@ -27,6 +41,8 @@ class DeviceStats:
     trim_ios: int = 0
     flush_ios: int = 0
     gc_bytes_written: int = 0
+    blocks_written: int = 0
+    blocks_read: int = 0
 
     def snapshot(self) -> "DeviceStats":
         """Return an independent copy of the current counters."""

@@ -1,0 +1,113 @@
+"""Tests for the parallel experiment runner (`repro.bench.parallel`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentSpec, run_wa_experiment
+from repro.bench.parallel import default_jobs, detach_result, run_grid, run_specs
+from repro.errors import ConfigError
+
+
+def tiny_specs():
+    return [
+        ExperimentSpec(system="bminus", n_records=600, steady_ops=300),
+        ExperimentSpec(system="baseline-btree", n_records=600, steady_ops=300),
+        ExperimentSpec(system="rocksdb", n_records=600, steady_ops=300),
+    ]
+
+
+def fingerprint(result):
+    return (
+        result.spec.system,
+        result.wa.wa_total,
+        result.wa.wa_log,
+        result.logical_usage,
+        result.physical_usage,
+        result.populate.ops,
+        result.steady.ops,
+    )
+
+
+class TestDefaultJobs:
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+
+    def test_env_value_is_used(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert default_jobs() == 4
+
+    def test_zero_and_negative_clamp_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "-3")
+        assert default_jobs() == 1
+
+    def test_garbage_raises_config_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigError):
+            default_jobs()
+
+
+class TestRunSpecs:
+    def test_parallel_results_identical_to_serial(self):
+        specs = tiny_specs()
+        serial = run_specs(specs, jobs=1)
+        parallel = run_specs(specs, jobs=2)
+        assert [fingerprint(r) for r in serial] == [fingerprint(r) for r in parallel]
+
+    def test_results_come_back_in_spec_order(self):
+        specs = tiny_specs()
+        results = run_specs(specs, jobs=2)
+        assert [r.spec.system for r in results] == [s.system for s in specs]
+
+    def test_serial_results_keep_live_engine(self):
+        results = run_specs(tiny_specs()[:1], jobs=1)
+        assert results[0].engine is not None
+        assert results[0].device is not None
+
+    def test_parallel_results_are_detached(self):
+        results = run_specs(tiny_specs()[:2], jobs=2)
+        for result in results:
+            assert result.engine is None
+            assert result.device is None
+            assert result.clock is None
+
+    def test_single_spec_stays_serial_even_with_jobs(self):
+        results = run_specs(tiny_specs()[:1], jobs=4)
+        assert results[0].engine is not None
+
+    def test_env_knob_drives_jobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        specs = tiny_specs()[:2]
+        results = run_specs(specs)  # jobs resolved from REPRO_JOBS
+        assert [r.spec.system for r in results] == [s.system for s in specs]
+        assert results[0].engine is None  # ran through worker processes
+
+
+class TestRunGrid:
+    def test_keys_and_order_preserved(self):
+        specs = tiny_specs()
+        keyed = {("pt", i): spec for i, spec in enumerate(specs)}
+        results = run_grid(keyed, jobs=2)
+        assert list(results) == list(keyed)
+        for (_, i), result in results.items():
+            assert result.spec.system == specs[i].system
+
+    def test_grid_matches_direct_runs(self):
+        spec = tiny_specs()[0]
+        grid = run_grid({"only": spec}, jobs=1)
+        direct = run_wa_experiment(spec)
+        assert fingerprint(grid["only"]) == fingerprint(direct)
+
+
+class TestDetachResult:
+    def test_strips_live_objects_in_place(self):
+        result = run_wa_experiment(tiny_specs()[0])
+        detached = detach_result(result)
+        assert detached is result
+        assert result.engine is None and result.device is None and result.clock is None
+        # Every figure-facing quantity survives detachment.
+        assert result.wa.wa_total > 0
+        assert result.physical_usage > 0

@@ -235,3 +235,42 @@ def test_property_live_bytes_never_exceed_physical_writes(seed):
         else:
             device.trim(rng.randrange(32))
         assert device.physical_bytes_used <= device.stats.physical_bytes_written
+
+
+# --------------------------------------------------------------- IOPS semantics
+
+
+def test_multi_block_write_is_one_io(device, rng):
+    """One write command = one I/O, however many blocks it spans."""
+    device.write_blocks(0, rng.random_bytes(4 * BLOCK_SIZE))
+    assert device.stats.write_ios == 1
+    assert device.stats.blocks_written == 4
+
+
+def test_multi_block_read_is_one_io(device, rng):
+    device.write_blocks(0, rng.random_bytes(3 * BLOCK_SIZE))
+    snap = device.stats.snapshot()
+    device.read_blocks(0, 3)
+    delta = device.stats.delta(snap)
+    assert delta.read_ios == 1
+    assert delta.blocks_read == 3
+
+
+def test_single_block_io_counts_one_block(device, rng):
+    device.write_block(2, make_block(rng))
+    device.read_block(2)
+    assert device.stats.write_ios == 1
+    assert device.stats.blocks_written == 1
+    assert device.stats.read_ios == 1
+    assert device.stats.blocks_read == 1
+
+
+def test_block_counters_accumulate_across_commands(device, rng):
+    device.write_blocks(0, rng.random_bytes(2 * BLOCK_SIZE))
+    device.write_block(8, make_block(rng))
+    device.read_blocks(0, 2)
+    device.read_block(8)
+    assert device.stats.write_ios == 2
+    assert device.stats.blocks_written == 3
+    assert device.stats.read_ios == 2
+    assert device.stats.blocks_read == 3

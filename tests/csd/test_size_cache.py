@@ -1,0 +1,173 @@
+"""Tests for the content-addressed compressed-size LRU cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.csd.compression import (
+    SIZE_CACHE_CAPACITY,
+    Compressor,
+    SizeCachingCompressor,
+    ZlibCompressor,
+)
+
+
+class CountingCompressor(Compressor):
+    """Deterministic stub that counts how often it is actually invoked."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def compressed_size(self, block) -> int:
+        self.calls += 1
+        return len(bytes(block)) // 2 + 1
+
+
+def block_of(tag: int, size: int = 4096) -> bytes:
+    return tag.to_bytes(8, "little") + bytes(size - 8)
+
+
+class TestCacheHits:
+    def test_repeated_content_hits_once_compressed(self):
+        inner = CountingCompressor()
+        cache = SizeCachingCompressor(inner)
+        blk = block_of(1)
+        first = cache.compressed_size(blk)
+        for _ in range(9):
+            assert cache.compressed_size(blk) == first
+        assert inner.calls == 1
+        assert cache.hits == 9
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.9)
+
+    def test_equal_content_different_objects_share_one_entry(self):
+        inner = CountingCompressor()
+        cache = SizeCachingCompressor(inner)
+        cache.compressed_size(block_of(2))
+        cache.compressed_size(bytearray(block_of(2)))
+        cache.compressed_size(memoryview(block_of(2)))
+        assert inner.calls == 1
+        assert len(cache) == 1
+
+    def test_distinct_content_misses(self):
+        inner = CountingCompressor()
+        cache = SizeCachingCompressor(inner)
+        for tag in range(5):
+            cache.compressed_size(block_of(tag))
+        assert inner.calls == 5
+        assert cache.hits == 0
+
+
+class TestLruEviction:
+    def test_size_bounded_by_capacity(self):
+        cache = SizeCachingCompressor(CountingCompressor(), capacity=8,
+                                      probe_window=0)
+        for tag in range(20):
+            cache.compressed_size(block_of(tag))
+        assert len(cache) == 8
+        assert cache.evictions == 12
+
+    def test_least_recently_used_goes_first(self):
+        inner = CountingCompressor()
+        cache = SizeCachingCompressor(inner, capacity=2, probe_window=0)
+        a, b, c = block_of(1), block_of(2), block_of(3)
+        cache.compressed_size(a)
+        cache.compressed_size(b)
+        cache.compressed_size(a)  # refresh a; b is now LRU
+        cache.compressed_size(c)  # evicts b
+        calls = inner.calls
+        cache.compressed_size(a)
+        assert inner.calls == calls  # a survived
+        cache.compressed_size(b)
+        assert inner.calls == calls + 1  # b was evicted
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SizeCachingCompressor(CountingCompressor(), capacity=0)
+
+
+class TestAdaptiveBypass:
+    def test_repetition_free_stream_trips_bypass(self):
+        cache = SizeCachingCompressor(ZlibCompressor(1), probe_window=128)
+        for tag in range(200):
+            cache.compressed_size(block_of(tag))
+        assert cache.bypassed
+        assert len(cache) == 0  # entries dropped with the decision
+
+    def test_bypassed_sizes_still_exact(self):
+        cache = SizeCachingCompressor(ZlibCompressor(1), probe_window=64)
+        plain = ZlibCompressor(1)
+        blocks = [block_of(tag) for tag in range(100)]
+        sizes = [cache.compressed_size(b) for b in blocks]
+        assert cache.bypassed
+        assert sizes == [plain.compressed_size(b) for b in blocks]
+
+    def test_repetitive_stream_keeps_cache(self):
+        cache = SizeCachingCompressor(ZlibCompressor(1), probe_window=64)
+        blk = block_of(7)
+        for _ in range(200):
+            cache.compressed_size(blk)
+        assert not cache.bypassed
+        assert cache.hit_rate > 0.9
+
+    def test_probe_window_zero_never_bypasses(self):
+        cache = SizeCachingCompressor(CountingCompressor(), probe_window=0)
+        for tag in range(300):
+            cache.compressed_size(block_of(tag))
+        assert not cache.bypassed
+
+    def test_clear_rearms_the_probe(self):
+        cache = SizeCachingCompressor(ZlibCompressor(1), probe_window=32)
+        for tag in range(50):
+            cache.compressed_size(block_of(tag))
+        assert cache.bypassed
+        cache.clear()
+        assert not cache.bypassed
+        assert cache.hits == cache.misses == cache.evictions == 0
+        blk = block_of(1)
+        cache.compressed_size(blk)
+        cache.compressed_size(blk)
+        assert cache.hits == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SizeCachingCompressor(CountingCompressor(), probe_window=-1)
+        with pytest.raises(ValueError):
+            SizeCachingCompressor(CountingCompressor(), min_hit_rate=1.5)
+
+
+class TestBitIdenticalOnRealRun:
+    def test_cached_matches_uncached_on_bminus_write_stream(self):
+        """Every block a real B⁻ run compresses gets the exact zlib size."""
+        from repro.bench.harness import ExperimentSpec, build_engine
+        from repro.sim.rng import DeterministicRng
+        from repro.workloads.runner import WorkloadRunner
+
+        spec = ExperimentSpec(system="bminus", n_records=800, steady_ops=400)
+        engine, device, clock = build_engine(spec)
+        corpus = []
+        inner = device.compressor
+        real = inner.compressed_size
+
+        def record(block):
+            corpus.append(bytes(block))
+            return real(block)
+
+        device.compressor.compressed_size = record
+        rng = DeterministicRng(spec.seed)
+        runner = WorkloadRunner(engine, device, clock, n_threads=1)
+        runner.populate(spec.keyspace, rng.split("populate"))
+        runner.run_random_writes(spec.keyspace, 400, rng.split("steady"))
+        assert len(corpus) > 100
+
+        plain = ZlibCompressor(1)
+        cached = SizeCachingCompressor(ZlibCompressor(1))
+        always = SizeCachingCompressor(ZlibCompressor(1), probe_window=0)
+        for block in corpus:
+            expected = plain.compressed_size(block)
+            assert cached.compressed_size(block) == expected
+            assert always.compressed_size(block) == expected
+
+    def test_default_capacity_is_bounded(self):
+        cache = SizeCachingCompressor(ZlibCompressor(1))
+        assert cache.capacity == SIZE_CACHE_CAPACITY

@@ -46,3 +46,18 @@ def test_add_combines_fieldwise():
     c = a + b
     assert c.logical_bytes_written == 4
     assert c.read_ios == 6
+
+
+def test_block_counters_default_zero_and_combine():
+    stats = DeviceStats()
+    assert stats.blocks_written == 0
+    assert stats.blocks_read == 0
+    snap = stats.snapshot()
+    stats.blocks_written += 4
+    stats.blocks_read += 2
+    delta = stats.delta(snap)
+    assert delta.blocks_written == 4
+    assert delta.blocks_read == 2
+    total = stats + DeviceStats(blocks_written=1, blocks_read=1)
+    assert total.blocks_written == 5
+    assert total.blocks_read == 3

@@ -1,0 +1,125 @@
+"""Calibration tests for the zero-tail-aware zlib fast path.
+
+``ZeroTailZlibCompressor`` compresses only the live prefix of a block (plus a
+short retained zero pad) and models the cost of the remaining zero run as
+``ZERO_TAIL_RATE`` bytes per zero.  The rate is an empirical property of zlib
+level 1: once a zero run is ~512 bytes deep, each further 512 zeros cost a
+constant 5 bytes of output, independent of what the live prefix contained.
+These tests pin that calibration against real zlib across prefix lengths and
+entropies.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.csd.compression import (
+    ZERO_BLOCK_COST,
+    ZERO_TAIL_KEEP,
+    ZeroTailZlibCompressor,
+    ZlibCompressor,
+)
+
+BLOCK = 4096
+
+#: Calibration bounds established in the PR that introduced the fast path:
+#: worst absolute error observed across the sweep is 8 bytes (0.2% of a 4KB
+#: block); relative error only exceeds 2% for outputs smaller than ~512B,
+#: where the absolute bound is the meaningful one.
+MAX_ABS_ERROR_FRACTION = 0.02
+MAX_REL_ERROR = 0.02
+REL_ERROR_FLOOR = 512  # compressed bytes
+
+
+def make_prefix(rng: random.Random, live: int, mix: str) -> bytes:
+    if live == 0:
+        return b""
+    if mix == "random":
+        prefix = bytes(rng.randrange(256) for _ in range(live))
+    elif mix == "half":
+        half = live // 2
+        prefix = bytes(rng.randrange(256) for _ in range(half)) + bytes(
+            [5] * (live - half))
+    elif mix == "text":
+        prefix = (b"key=%08d,value=abcdefgh;" * 256)[:live]
+    else:
+        raise ValueError(mix)
+    if prefix[-1] == 0:
+        prefix = prefix[:-1] + b"\x01"  # keep the live length exact
+    return prefix
+
+
+class TestExactPaths:
+    def test_all_zero_block_costs_exactly_zero_block_cost(self):
+        zt = ZeroTailZlibCompressor(1)
+        assert zt.compressed_size(bytes(BLOCK)) == ZERO_BLOCK_COST
+        assert ZlibCompressor(1).compressed_size(bytes(BLOCK)) == ZERO_BLOCK_COST
+
+    def test_empty_block_is_free(self):
+        assert ZeroTailZlibCompressor(1).compressed_size(b"") == 0
+
+    @pytest.mark.parametrize("tail", [0, 1, 64, ZERO_TAIL_KEEP])
+    def test_dense_blocks_bit_identical_to_zlib(self, tail):
+        """Tail no longer than the retained pad -> exact zlib, no model."""
+        rng = random.Random(11)
+        zt = ZeroTailZlibCompressor(1)
+        zl = ZlibCompressor(1)
+        block = make_prefix(rng, BLOCK - tail, "half") + bytes(tail)
+        assert zt.compressed_size(block) == zl.compressed_size(block)
+
+    def test_accepts_memoryview(self):
+        zt = ZeroTailZlibCompressor(1)
+        block = bytes([3] * 100) + bytes(BLOCK - 100)
+        assert zt.compressed_size(memoryview(block)) == zt.compressed_size(block)
+
+
+class TestCalibrationSweep:
+    @pytest.mark.parametrize("mix", ["random", "half", "text"])
+    @pytest.mark.parametrize(
+        "live", [16, 64, 128, 256, 512, 700, 1024, 2048, 3000, BLOCK - ZERO_TAIL_KEEP - 1]
+    )
+    def test_model_within_two_percent(self, live, mix):
+        rng = random.Random(live * 31 + len(mix))
+        zt = ZeroTailZlibCompressor(1)
+        zl = ZlibCompressor(1)
+        block = make_prefix(rng, live, mix) + bytes(BLOCK - live)
+        estimated = zt.compressed_size(block)
+        real = zl.compressed_size(block)
+        abs_error = abs(estimated - real)
+        assert abs_error <= MAX_ABS_ERROR_FRACTION * BLOCK, (live, mix, estimated, real)
+        if real >= REL_ERROR_FLOOR:
+            assert abs_error / real <= MAX_REL_ERROR, (live, mix, estimated, real)
+
+    def test_model_is_monotone_in_tail_length(self):
+        """More zeros never *reduce* the modelled size by more than rounding."""
+        rng = random.Random(99)
+        zt = ZeroTailZlibCompressor(1)
+        prefix = make_prefix(rng, 1024, "half")
+        sizes = [
+            zt.compressed_size(prefix + bytes(pad))
+            for pad in range(ZERO_TAIL_KEEP + 1, BLOCK - 1024, 256)
+        ]
+        for a, b in zip(sizes, sizes[1:]):
+            assert b >= a - 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ZeroTailZlibCompressor(0)
+        with pytest.raises(ValueError):
+            ZeroTailZlibCompressor(1, keep=-1)
+        with pytest.raises(ValueError):
+            ZeroTailZlibCompressor(1, tail_rate=-0.1)
+
+
+class TestEstimatorSemanticsPreserved:
+    def test_zero_run_estimator_is_not_wrapped_in_fast_mode(self, monkeypatch):
+        """REPRO_FAST must hand back a plain ZeroRunEstimator instance."""
+        from repro.bench.harness import _compressor
+        from repro.csd.compression import ZeroRunEstimator
+
+        monkeypatch.setenv("REPRO_FAST", "1")
+        compressor = _compressor()
+        assert type(compressor) is ZeroRunEstimator
+        assert compressor.entropy_factor == pytest.approx(0.98)
