@@ -1,0 +1,655 @@
+"""The ``repro faultcheck`` campaign: systematic crash points + fault plans.
+
+Random crash fuzzing samples the failure space; this module *enumerates* it.
+A profiling run records every device mutation (block write, TRIM, flush) a
+commit pipeline issues; the crash-point scheduler then re-runs the identical
+workload once per recorded boundary, crashing exactly there — in ``drop``
+mode (no pending write survives) and ``torn`` mode (each pending 4KB block
+survives a seeded coin flip) — and verifies that recovery reconstructs the
+committed reference state.  Because the workload commits after every
+operation, the recovered store must equal the committed model exactly, or
+the model plus the single in-flight operation the crash interrupted.
+
+Three further phases exercise the self-healing paths the scheduler cannot
+reach:
+
+* **fault trials** — seeded probabilistic :class:`~repro.csd.faults.
+  FaultPlan`s (transient read/write errors, transient read corruption, torn
+  writes, dropped TRIMs) over a full workload; every fault must be absorbed
+  invisibly and the final store must match the model.
+* **read-repair** — with every TRIM dropped, each page's stale sibling slot
+  survives; corrupting the *valid* slot of chosen pages and re-opening the
+  store must serve the sibling, redo-log-replay forward to the committed
+  state, and rewrite (heal) the corrupt slot — ``read_repairs > 0``.  The
+  journal pager variant corrupts in-place images and heals from the
+  double-write ring instead (``journal_repairs > 0``).
+* **WAL truncation** — corrupting a log ring block mid-history must truncate
+  replay (not crash it), yield a store whose every record carries a value
+  that key legitimately held at some commit point, and count
+  ``wal_truncations``.
+
+Everything is driven by one seed; the JSON report (``--json``) carries every
+counter so CI can archive campaign evidence.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.btree.engine import BTreeConfig, BTreeEngine
+from repro.btree.page import Page
+from repro.btree.pager import JournalPager
+from repro.btree.wal import _BLOCK_HDR, _BLOCK_MAGIC
+from repro.core.bminus import BMinusConfig, BMinusTree
+from repro.csd.device import BLOCK_SIZE, CompressedBlockDevice
+from repro.csd.faults import FaultInjectingDevice, FaultPlan, ScriptedFault
+from repro.errors import KeyNotFoundError, SimulatedCrashError
+
+#: Device span shared by every campaign configuration (all layouts fit).
+_DEVICE_BLOCKS = 4096
+#: Log ring shared by every configuration; sparse mode consumes one block
+#: per commit, so workloads stay under half the ring (no forced checkpoint
+#: mid-run — the read-repair phase relies on the full replay window).
+_LOG_BLOCKS = 1024
+_MAX_PAGES = 512
+#: Tiny cache (4 pages) so the workload constantly evicts, re-flushes, and
+#: re-loads pages — that churn is what ping-pongs the shadow slots and keeps
+#: the double-write ring warm, giving the repair phases targets to corrupt.
+_CACHE_BYTES = 4 * BLOCK_SIZE
+#: Never fire the periodic checkpoint during a campaign run.
+_NO_CHECKPOINT = 1e18
+
+
+@dataclass
+class SystemUnderTest:
+    """How the campaign builds, crashes, and re-opens one storage system."""
+
+    name: str
+    create: Callable[[object], object]  # device -> engine-like
+    reopen: Callable[[object], object]  # device -> engine-like (recovery)
+    #: Which targeted-corruption phase applies: shadow-slot read-repair,
+    #: journal-ring restore, or none (single-copy pagers).
+    repair_style: str = "shadow"  # shadow | journal | none
+
+
+def _btree_config(atomicity: str) -> BTreeConfig:
+    return BTreeConfig(
+        page_size=BLOCK_SIZE,
+        cache_bytes=_CACHE_BYTES,
+        atomicity=atomicity,
+        wal_mode="packed",
+        log_flush_policy="commit",
+        checkpoint_interval=_NO_CHECKPOINT,
+        max_pages=_MAX_PAGES,
+        log_blocks=_LOG_BLOCKS,
+    )
+
+
+def _bminus_config() -> BMinusConfig:
+    return BMinusConfig(
+        page_size=BLOCK_SIZE,
+        cache_bytes=_CACHE_BYTES,
+        # A low T forces frequent full-page flushes, so the shadow slots
+        # ping-pong within the campaign's short workload.
+        threshold_t=512,
+        segment_size=128,
+        wal_mode="sparse",
+        log_flush_policy="commit",
+        checkpoint_interval=_NO_CHECKPOINT,
+        max_pages=_MAX_PAGES,
+        log_blocks=_LOG_BLOCKS,
+    )
+
+
+def _make_suts() -> dict[str, SystemUnderTest]:
+    def btree(atomicity: str, repair_style: str) -> SystemUnderTest:
+        return SystemUnderTest(
+            name=f"btree-{atomicity}",
+            create=lambda dev: BTreeEngine(dev, _btree_config(atomicity)),
+            reopen=lambda dev: BTreeEngine.open(dev, _btree_config(atomicity)),
+            repair_style=repair_style,
+        )
+
+    return {
+        "bminus": SystemUnderTest(
+            name="bminus",
+            create=lambda dev: BMinusTree(dev, _bminus_config()),
+            reopen=lambda dev: BMinusTree.open(dev, _bminus_config()),
+            repair_style="shadow",
+        ),
+        "btree-det-shadow": btree("det-shadow", "shadow"),
+        "btree-journal": btree("journal", "journal"),
+        "btree-shadow-table": btree("shadow-table", "none"),
+    }
+
+
+FAULTCHECK_SYSTEMS = tuple(_make_suts())
+
+
+# ----------------------------------------------------------------- workload
+
+
+def make_workload(seed: int, ops: int) -> list[tuple[str, bytes, bytes]]:
+    """A deterministic put/overwrite/delete stream (commit after each op)."""
+    rng = random.Random(seed)
+    stream: list[tuple[str, bytes, bytes]] = []
+    live: list[bytes] = []
+    for _ in range(ops):
+        roll = rng.random()
+        if live and roll < 0.15:
+            key = live.pop(rng.randrange(len(live)))
+            stream.append(("del", key, b""))
+        else:
+            key = b"key%06d" % rng.randrange(2 * ops)
+            # Values big enough that the working set dwarfs the campaign
+            # cache, so pages evict, re-flush, and exercise every I/O path.
+            value = bytes(rng.getrandbits(8) for _ in range(rng.randrange(80, 320)))
+            stream.append(("put", key, value))
+            if key not in live:
+                live.append(key)
+    return stream
+
+
+def _apply(model: dict, op: tuple[str, bytes, bytes]) -> None:
+    kind, key, value = op
+    if kind == "put":
+        model[key] = value
+    else:
+        model.pop(key, None)
+
+
+def _run_workload(
+    engine, stream: list[tuple[str, bytes, bytes]], committed: dict
+) -> Optional[int]:
+    """Apply ``stream`` with one commit per op, tracking the committed model.
+
+    Returns None on completion, or the index of the in-flight operation when
+    a scripted crash point fired mid-pipeline.
+    """
+    for index, op in enumerate(stream):
+        kind, key, value = op
+        try:
+            if kind == "put":
+                engine.put(key, value)
+            else:
+                engine.delete(key)
+            engine.commit()
+        except SimulatedCrashError:
+            return index
+        _apply(committed, op)
+    return None
+
+
+def _state(engine) -> dict:
+    return dict(engine.items())
+
+
+# ------------------------------------------------- phase 1: crash scheduling
+
+
+@dataclass
+class CrashPointReport:
+    """Outcome of the systematic crash-point phase for one system."""
+
+    mutation_points: int = 0
+    tested: int = 0
+    crashes_fired: int = 0
+    failures: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "mutation_points": self.mutation_points,
+            "tested": self.tested,
+            "crashes_fired": self.crashes_fired,
+            "failures": self.failures,
+        }
+
+
+def _profile_mutations(sut: SystemUnderTest, stream) -> list[int]:
+    """Run once, fault-free, recording the op index of every device mutation."""
+    device = FaultInjectingDevice(
+        CompressedBlockDevice(_DEVICE_BLOCKS), record_ops=True
+    )
+    engine = sut.create(device)
+    committed: dict = {}
+    crashed = _run_workload(engine, stream, committed)
+    assert crashed is None, "profiling run must not crash"
+    return [
+        index
+        for index, (kind, _lba, _count) in enumerate(device.op_log)
+        if kind in ("write", "trim", "flush")
+    ]
+
+
+def _sample(points: list[int], budget: int) -> list[int]:
+    """Stride-sample ``points`` down to ``budget`` entries, keeping the ends."""
+    if budget <= 0 or len(points) <= budget:
+        return points
+    stride = (len(points) - 1) / (budget - 1) if budget > 1 else len(points)
+    picked = sorted({points[min(round(i * stride), len(points) - 1)]
+                     for i in range(budget)})
+    return picked
+
+
+def run_crash_schedule(
+    sut: SystemUnderTest, stream, seed: int, budget: int
+) -> CrashPointReport:
+    """Crash-test every (sampled) mutation boundary in drop and torn modes."""
+    report = CrashPointReport()
+    mutation_points = _profile_mutations(sut, stream)
+    report.mutation_points = len(mutation_points)
+    points = _sample(mutation_points, budget)
+    for mode in ("drop", "torn"):
+        for point in points:
+            report.tested += 1
+            plan = FaultPlan(
+                seed=seed + point,
+                scripted=(ScriptedFault(op_index=point, kind="crash", mode=mode),),
+            )
+            inner = CompressedBlockDevice(_DEVICE_BLOCKS)
+            device = FaultInjectingDevice(inner, plan)
+            committed: dict = {}
+            inflight: Optional[int] = None
+            try:
+                engine = sut.create(device)
+            except SimulatedCrashError:
+                # Crash during store genesis: recovery must come up empty.
+                pass
+            else:
+                inflight = _run_workload(engine, stream, committed)
+                if inflight is None:
+                    # The sampled boundary was never reached (e.g. a
+                    # profiling mutation past the last commit).
+                    continue
+            report.crashes_fired += 1
+            recovered = sut.reopen(inner)  # recovery itself runs fault-free
+            state = _state(recovered)
+            acceptable = [dict(committed)]
+            with_inflight = dict(committed)
+            if inflight is not None:
+                _apply(with_inflight, stream[inflight])
+                acceptable.append(with_inflight)
+            if state not in acceptable:
+                report.failures.append({
+                    "mode": mode,
+                    "op_index": point,
+                    "inflight_op": inflight,
+                    "missing": sorted(
+                        k.decode() for k in set(committed) - set(state)
+                    )[:5],
+                    "unexpected": sorted(
+                        k.decode() for k in set(state) - set(with_inflight)
+                    )[:5],
+                })
+    return report
+
+
+# ---------------------------------------------- phase 2: seeded fault trials
+
+
+@dataclass
+class FaultTrialReport:
+    """Outcome of the probabilistic fault-plan phase for one system."""
+
+    trials: int = 0
+    injected: dict = field(default_factory=dict)
+    healed: dict = field(default_factory=dict)
+    failures: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "trials": self.trials,
+            "injected": self.injected,
+            "healed": self.healed,
+            "failures": self.failures,
+        }
+
+
+def run_fault_trials(
+    sut: SystemUnderTest, stream, seed: int, trials: int
+) -> FaultTrialReport:
+    """Run seeded fault plans end to end; every fault must heal invisibly.
+
+    Rates cover only the fault kinds that are *always* recoverable without a
+    surviving replica (transient errors, transient corruption, torn writes,
+    dropped TRIMs) — latent corruption and misdirected writes are exercised
+    by the targeted phases, where a replica is arranged to exist.
+    """
+    report = FaultTrialReport()
+    injected_total: dict = {}
+    healed_total: dict = {}
+    for trial in range(trials):
+        report.trials += 1
+        plan = FaultPlan(
+            seed=seed * 7919 + trial,
+            transient_read_rate=0.01,
+            transient_write_rate=0.01,
+            read_corruption_rate=0.005,
+            torn_write_rate=0.02,
+            dropped_trim_rate=0.05,
+        )
+        device = FaultInjectingDevice(CompressedBlockDevice(_DEVICE_BLOCKS), plan)
+        engine = sut.create(device)
+        committed: dict = {}
+        try:
+            crashed = _run_workload(engine, stream, committed)
+            assert crashed is None
+            state = _state(engine)
+            lookups_ok = all(engine.get(k) == v for k, v in committed.items())
+        except Exception as exc:  # any leak of an injected fault is a failure
+            report.failures.append({
+                "trial": trial, "error": f"{type(exc).__name__}: {exc}"
+            })
+            continue
+        if state != committed or not lookups_ok:
+            report.failures.append({
+                "trial": trial,
+                "error": "final state diverged from the committed model",
+            })
+        for name, count in device.injected.as_dict().items():
+            injected_total[name] = injected_total.get(name, 0) + count
+        for name, count in engine.fault_stats.as_dict().items():
+            healed_total[name] = healed_total.get(name, 0) + count
+    report.injected = injected_total
+    report.healed = healed_total
+    return report
+
+
+# ----------------------------------------- phase 3: targeted corruption/repair
+
+
+@dataclass
+class RepairReport:
+    """Outcome of the targeted corruption phase for one system."""
+
+    style: str = "none"
+    targets: int = 0
+    read_repairs: int = 0
+    journal_repairs: int = 0
+    failures: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "style": self.style,
+            "targets": self.targets,
+            "read_repairs": self.read_repairs,
+            "journal_repairs": self.journal_repairs,
+            "failures": self.failures,
+        }
+
+
+def _shadow_targets(pager, device, max_targets: int) -> list[tuple[int, int]]:
+    """Pages whose stale sibling slot survives: ``(page_id, valid_slot_lba)``.
+
+    With every TRIM dropped, a page flushed at least twice retains both slot
+    images; corrupting the newer one forces arbitration to serve the sibling
+    and read-repair the rot.
+    """
+    targets = []
+    for page_id, valid_slot in sorted(pager._valid_slot.items()):
+        sibling_lba = pager._slot_lba(page_id, 1 - valid_slot)
+        raw = device.read_blocks(sibling_lba, pager.page_blocks)
+        try:
+            sibling = Page.from_bytes(raw)
+        except Exception:
+            continue
+        if sibling.page_id != page_id:
+            continue
+        targets.append((page_id, pager._slot_lba(page_id, valid_slot)))
+        if len(targets) >= max_targets:
+            break
+    return targets
+
+
+def _journal_targets(pager: JournalPager, device, max_targets: int) -> list[tuple[int, int]]:
+    """In-place pages with a same-LSN double-write ring copy to heal from."""
+    targets = []
+    for index in range(pager.JOURNAL_PAGES):
+        raw = device.read_blocks(pager._journal_lba(index), pager.page_blocks)
+        try:
+            ring_copy = Page.from_bytes(raw)
+        except Exception:
+            continue
+        lba = pager._page_lba(ring_copy.page_id)
+        try:
+            live = Page.from_bytes(device.read_blocks(lba, pager.page_blocks))
+        except Exception:
+            continue
+        if live.lsn != ring_copy.lsn:
+            continue  # the ring copy is stale; restoring it would lose data
+        targets.append((ring_copy.page_id, lba))
+        if len(targets) >= max_targets:
+            break
+    return targets
+
+
+def run_repair_campaign(
+    sut: SystemUnderTest, stream, seed: int, max_targets: int = 4
+) -> RepairReport:
+    """Corrupt stable page images, re-open the store, verify self-healing."""
+    report = RepairReport(style=sut.repair_style)
+    if sut.repair_style == "none":
+        return report
+    plan = (
+        FaultPlan(seed=seed, dropped_trim_rate=1.0)
+        if sut.repair_style == "shadow"
+        else FaultPlan(seed=seed)
+    )
+    device = FaultInjectingDevice(CompressedBlockDevice(_DEVICE_BLOCKS), plan)
+    engine = sut.create(device)
+    committed: dict = {}
+    crashed = _run_workload(engine, stream, committed)
+    assert crashed is None
+    # Deliberately no close(): a close-time checkpoint would advance the
+    # replay cursor past the history the sibling slots need replayed.
+    pager = engine.pager
+    if sut.repair_style == "shadow":
+        targets = _shadow_targets(pager, device, max_targets)
+    else:
+        targets = _journal_targets(pager, device, max_targets)
+    report.targets = len(targets)
+    if not targets:
+        report.failures.append({"error": "no corruptible targets found"})
+        return report
+    for _page_id, lba in targets:
+        device.corrupt_stable(lba)
+    try:
+        recovered = sut.reopen(device)
+    except Exception as exc:
+        report.failures.append({
+            "error": f"recovery failed: {type(exc).__name__}: {exc}"
+        })
+        return report
+    stats = recovered.fault_stats
+    report.read_repairs = stats.read_repairs
+    report.journal_repairs = stats.journal_repairs
+    state = _state(recovered)
+    if state != committed:
+        report.failures.append({
+            "error": "recovered state diverged from the committed model",
+            "missing": sorted(k.decode() for k in set(committed) - set(state))[:5],
+        })
+    if sut.repair_style == "shadow" and stats.read_repairs == 0:
+        report.failures.append({"error": "no shadow-slot read-repair occurred"})
+    if sut.repair_style == "journal" and stats.journal_repairs == 0:
+        report.failures.append({"error": "no journal-ring restore occurred"})
+    if device.corrupted_lbas:
+        report.failures.append({
+            "error": f"corruption not scrubbed at LBAs {device.corrupted_lbas}"
+        })
+    return report
+
+
+# ------------------------------------------------ phase 4: WAL tail corruption
+
+
+def run_wal_truncation(sut: SystemUnderTest, stream, seed: int) -> dict:
+    """Corrupt a mid-history log block; replay must truncate, not crash.
+
+    After truncation the store may legitimately hold any per-key value that
+    was committed at *some* point (pages flushed after the corrupt block
+    carry newer versions than the surviving log prefix), so the check is:
+    no fabricated keys, and every surviving value appeared in that key's
+    committed history.
+    """
+    result = {"corrupt_block": None, "wal_truncations": 0, "failures": []}
+    device = FaultInjectingDevice(
+        CompressedBlockDevice(_DEVICE_BLOCKS), FaultPlan(seed=seed)
+    )
+    engine = sut.create(device)
+    history: dict[bytes, set] = {}
+    committed: dict = {}
+    for op in stream:
+        kind, key, value = op
+        if kind == "put":
+            engine.put(key, value)
+            history.setdefault(key, set()).add(value)
+        else:
+            engine.delete(key)
+        engine.commit()
+        _apply(committed, op)
+    # Find a log block in the middle of the written history.
+    log_lbas = [
+        lba
+        for lba in range(BTreeEngine.LOG_START, BTreeEngine.LOG_START + _LOG_BLOCKS)
+        if _BLOCK_HDR.unpack_from(device.read_block(lba), 0)[0] == _BLOCK_MAGIC
+    ]
+    if len(log_lbas) < 4:
+        result["failures"].append({"error": "log history too short to corrupt"})
+        return result
+    victim = log_lbas[len(log_lbas) // 2]
+    result["corrupt_block"] = victim
+    device.corrupt_stable(victim)
+    try:
+        recovered = sut.reopen(device)
+    except Exception as exc:
+        result["failures"].append({
+            "error": f"recovery raised instead of truncating: "
+                     f"{type(exc).__name__}: {exc}"
+        })
+        return result
+    result["wal_truncations"] = recovered.fault_stats.wal_truncations
+    if recovered.fault_stats.wal_truncations == 0:
+        result["failures"].append({"error": "corrupt log block went undetected"})
+    for key, value in _state(recovered).items():
+        if key not in history or value not in history[key]:
+            result["failures"].append({
+                "error": f"fabricated record for key {key!r}"
+            })
+            break
+    return result
+
+
+# ------------------------------------------------------------------ campaign
+
+
+def run_faultcheck(
+    systems: Optional[list[str]] = None,
+    ops: int = 200,
+    budget: int = 24,
+    trials: int = 3,
+    seed: int = 2022,
+) -> dict:
+    """Run the full campaign; returns the JSON-serialisable report."""
+    suts = _make_suts()
+    names = list(systems) if systems else list(suts)
+    for name in names:
+        if name not in suts:
+            raise ValueError(
+                f"unknown faultcheck system {name!r}; "
+                f"choose from {sorted(suts)}"
+            )
+    stream = make_workload(seed, ops)
+    report: dict = {
+        "seed": seed, "ops": ops, "budget": budget, "trials": trials,
+        "systems": {},
+    }
+    passed = True
+    for name in names:
+        sut = suts[name]
+        crash = run_crash_schedule(sut, stream, seed, budget)
+        trials_report = run_fault_trials(sut, stream, seed, trials)
+        repair = run_repair_campaign(sut, stream, seed)
+        entry = {
+            "crash_points": crash.as_dict(),
+            "fault_trials": trials_report.as_dict(),
+            "repair": repair.as_dict(),
+        }
+        if name == "bminus":
+            entry["wal_truncation"] = run_wal_truncation(sut, stream, seed)
+            passed = passed and not entry["wal_truncation"]["failures"]
+        report["systems"][name] = entry
+        passed = passed and not crash.failures
+        passed = passed and not trials_report.failures
+        passed = passed and not repair.failures
+    report["passed"] = passed
+    return report
+
+
+def format_report(report: dict) -> str:
+    """Human-readable summary of a campaign report."""
+    lines = [
+        f"faultcheck: seed={report['seed']} ops={report['ops']} "
+        f"budget={report['budget']} trials={report['trials']}"
+    ]
+    for name, entry in report["systems"].items():
+        crash = entry["crash_points"]
+        trials = entry["fault_trials"]
+        repair = entry["repair"]
+        lines.append(
+            f"  {name}: {crash['crashes_fired']}/{crash['tested']} crash points "
+            f"recovered ({crash['mutation_points']} mutation boundaries), "
+            f"{trials['trials']} fault trials "
+            f"({trials['injected'].get('total', 0)} faults injected), "
+            f"repair[{repair['style']}] targets={repair['targets']} "
+            f"read_repairs={repair['read_repairs']} "
+            f"journal_repairs={repair['journal_repairs']}"
+        )
+        if "wal_truncation" in entry:
+            wal = entry["wal_truncation"]
+            lines.append(
+                f"    wal-truncation: corrupt_block={wal['corrupt_block']} "
+                f"truncations={wal['wal_truncations']}"
+            )
+        sections = ["crash_points", "fault_trials", "repair"]
+        if "wal_truncation" in entry:
+            sections.append("wal_truncation")
+        for section in sections:
+            for failure in entry[section]["failures"]:
+                lines.append(f"    FAIL[{section}]: {failure}")
+    lines.append("PASSED" if report["passed"] else "FAILED")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:  # pragma: no cover - thin CLI
+    """Standalone entry point (mirrors ``repro faultcheck``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--systems", default=",".join(FAULTCHECK_SYSTEMS))
+    parser.add_argument("--ops", type=int, default=200)
+    parser.add_argument("--budget", type=int, default=24)
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    report = run_faultcheck(systems, args.ops, args.budget, args.trials, args.seed)
+    print(json.dumps(report, indent=2) if args.json else format_report(report))
+    return 0 if report["passed"] else 1
+
+
+__all__ = [
+    "FAULTCHECK_SYSTEMS",
+    "SystemUnderTest",
+    "format_report",
+    "make_workload",
+    "run_crash_schedule",
+    "run_fault_trials",
+    "run_faultcheck",
+    "run_repair_campaign",
+    "run_wal_truncation",
+]

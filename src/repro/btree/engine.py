@@ -38,8 +38,10 @@ from repro.btree.pager import (
 from repro.btree.tree import BTree
 from repro.btree.wal import LogOp, LogPosition, LogRecord, RedoLog
 from repro.csd.device import BLOCK_SIZE, BlockDevice
+from repro.csd.faults import read_block_retrying, write_block_retrying
 from repro.errors import ConfigError, KeyNotFoundError, RecoveryError
 from repro.metrics.counters import TrafficSnapshot
+from repro.metrics.faults import FaultStats
 from repro.sim.clock import SimClock
 
 _META_MAGIC = b"BME1"
@@ -116,6 +118,7 @@ class BTreeEngine:
         self._lsn = 0
         self._txid = 0
         self._replaying = False
+        self._fault_stats = FaultStats()  # engine-level (meta page) counters
         self.user_bytes = 0
         self.operations = 0
         self.meta_logical_bytes = 0
@@ -143,11 +146,14 @@ class BTreeEngine:
     ) -> "BTreeEngine":
         """Open an existing store on ``device`` (running crash recovery), or
         create a fresh one if the device holds no valid meta page."""
-        meta = cls._read_meta(device)
+        open_stats = FaultStats()
+        meta = cls._read_meta(device, open_stats)
         if meta is None:
-            return cls(device, config, clock, pager)
-        engine = cls(device, config, clock, pager, _recovering=True)
-        engine._recover(meta)
+            engine = cls(device, config, clock, pager)
+        else:
+            engine = cls(device, config, clock, pager, _recovering=True)
+            engine._recover(meta)
+        engine._fault_stats = engine._fault_stats + open_stats
         return engine
 
     def close(self) -> None:
@@ -272,19 +278,32 @@ class BTreeEngine:
             struct.pack_into("<Q", block, offset, fid)
             offset += 8
         struct.pack_into("<I", block, len(block) - 4, zlib.crc32(bytes(block[:-4])))
-        physical = self.device.write_block(self.META_BLOCK, bytes(block))
+        physical = write_block_retrying(
+            self.device, self.META_BLOCK, bytes(block), self._fault_stats
+        )
         self.device.flush()
         self.meta_logical_bytes += BLOCK_SIZE
         self.meta_physical_bytes += physical
 
     @staticmethod
-    def _read_meta(device: BlockDevice) -> Optional[dict]:
-        block = device.read_block(BTreeEngine.META_BLOCK)
+    def _read_meta(
+        device: BlockDevice, fault_stats: Optional[FaultStats] = None
+    ) -> Optional[dict]:
+        block = read_block_retrying(device, BTreeEngine.META_BLOCK, fault_stats)
         if block[:4] != _META_MAGIC:
             return None
         stored_crc, = struct.unpack_from("<I", block, len(block) - 4)
         if zlib.crc32(bytes(block[:-4])) != stored_crc:
-            raise RecoveryError("meta page failed checksum verification")
+            # One clean re-read heals transient (bus) corruption; persistent
+            # meta corruption is fatal — the meta page has no replica.
+            if fault_stats is not None:
+                fault_stats.checksum_failures += 1
+            block = read_block_retrying(device, BTreeEngine.META_BLOCK, fault_stats)
+            stored_crc, = struct.unpack_from("<I", block, len(block) - 4)
+            if zlib.crc32(bytes(block[:-4])) != stored_crc:
+                raise RecoveryError("meta page failed checksum verification")
+            if fault_stats is not None:
+                fault_stats.reread_heals += 1
         (_, version, page_size, root_id, next_id, lsn, txid, log_index,
          log_seq, nfree) = _META_HDR.unpack_from(block, 0)
         if version != 1:
@@ -449,6 +468,19 @@ class BTreeEngine:
             self._flushing.discard(page_id)
 
     # ------------------------------------------------------------ accounting
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        """Merged fault detection/repair counters across all components.
+
+        Combines the pager's, the redo log's, and the engine's own (meta
+        page) counters into one read-only snapshot; all zeros on a
+        fault-free run.
+        """
+        merged = self._fault_stats + self.pager.fault_stats
+        if self.wal is not None:
+            merged = merged + self.wal.fault_stats
+        return merged
 
     def traffic_snapshot(self) -> TrafficSnapshot:
         """Current cumulative write traffic, categorised per the paper."""

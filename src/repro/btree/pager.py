@@ -18,6 +18,17 @@ Three strategies from the paper's taxonomy (§2.4) are implemented:
 
 All pagers account their traffic in a :class:`PagerStats` so the harness can
 report the paper's ``WA_pg`` / ``WA_e`` decomposition.
+
+Fault hardening: all device I/O goes through the bounded-retry helpers of
+:mod:`repro.csd.faults` (transient errors and torn writes are re-issued), and
+the shadowing pagers self-heal latent corruption on the read path — a cached
+valid slot that fails its CRC is re-read once (transient corruption), then
+arbitrated against its sibling and *read-repaired* (the corrupt slot is
+rewritten from the surviving image); the journal pager restores a corrupt
+in-place image from its double-write ring copy.  Every detection and repair
+is counted in the pager's :class:`~repro.metrics.faults.FaultStats`.  On a
+fault-free run none of these paths activate and the write traffic is
+bit-identical to the unhardened pager.
 """
 
 from __future__ import annotations
@@ -27,7 +38,21 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from repro.btree.page import Page
 from repro.csd.device import BLOCK_SIZE, BlockDevice
-from repro.errors import ConfigError, RecoveryError, TreeError
+from repro.csd.faults import (
+    read_block_retrying,
+    read_blocks_retrying,
+    trim_retrying,
+    write_block_retrying,
+    write_blocks_retrying,
+)
+from repro.errors import (
+    ConfigError,
+    ReadRepairError,
+    RecoveryError,
+    TransientIOError,
+    TreeError,
+)
+from repro.metrics.faults import FaultStats
 
 
 @dataclass
@@ -64,6 +89,7 @@ class Pager(ABC):
         self.max_pages = max_pages
         self.region_start = region_start
         self.stats = PagerStats()
+        self.fault_stats = FaultStats()
         self._next_page_id = 0
         self._free_ids: list[int] = []
         #: Ids of pages allocated but never yet persisted.  The engine uses
@@ -153,6 +179,25 @@ class Pager(ABC):
 
     # --------------------------------------------------------------- common
 
+    # Retrying device I/O: transient faults are absorbed (and counted in
+    # fault_stats) up to the bounded attempt budget; torn multi-block writes
+    # are simply re-issued (block writes are idempotent).
+
+    def _read_block(self, lba: int) -> bytes:
+        return read_block_retrying(self.device, lba, self.fault_stats)
+
+    def _read_blocks(self, lba: int, count: int) -> bytes:
+        return read_blocks_retrying(self.device, lba, count, self.fault_stats)
+
+    def _write_block(self, lba: int, data) -> int:
+        return write_block_retrying(self.device, lba, data, self.fault_stats)
+
+    def _write_blocks(self, lba: int, data) -> int:
+        return write_blocks_retrying(self.device, lba, data, self.fault_stats)
+
+    def _trim(self, lba: int, count: int) -> None:
+        trim_retrying(self.device, lba, count, self.fault_stats)
+
     def _finalize(self, page: Page) -> bytes:
         page.finalize()
         return page.image()
@@ -190,48 +235,95 @@ class JournalPager(Pager):
 
     def flush(self, page: Page) -> None:
         image = self._finalize(page)
-        journal_physical = self.device.write_blocks(
+        journal_physical = self._write_blocks(
             self._journal_lba(self._journal_cursor), image
         )
         self._journal_cursor = (self._journal_cursor + 1) % self.JOURNAL_PAGES
         self.device.flush()
         self.stats.extra_logical_bytes += self.page_size
         self.stats.extra_physical_bytes += journal_physical
-        physical = self.device.write_blocks(self._page_lba(page.page_id), image)
+        physical = self._write_blocks(self._page_lba(page.page_id), image)
         self.device.flush()
         self._account_page_write(physical, page.page_id)
         page.clear_dirty()
 
     def load(self, page_id: int) -> Page:
         self.stats.page_loads += 1
-        image = self.device.read_blocks(self._page_lba(page_id), self.page_blocks)
-        return Page.from_bytes(image)
+        lba = self._page_lba(page_id)
+        image = self._read_blocks(lba, self.page_blocks)
+        try:
+            return Page.from_bytes(image)
+        except Exception:
+            self.fault_stats.checksum_failures += 1
+        # One clean re-read distinguishes transient (bus) corruption from
+        # latent media corruption.
+        image = self._read_blocks(lba, self.page_blocks)
+        try:
+            page = Page.from_bytes(image)
+        except Exception:
+            pass
+        else:
+            self.fault_stats.reread_heals += 1
+            return page
+        return self._restore_from_journal(page_id)
+
+    def _restore_from_journal(self, page_id: int) -> Page:
+        """Self-heal a corrupt in-place image from its double-write ring copy.
+
+        The ring holds the last :data:`JOURNAL_PAGES` flushed images, so only
+        recently flushed pages are repairable this way — exactly the window
+        the double-write journal is designed to protect.
+        """
+        best = None
+        best_image = b""
+        for index in range(self.JOURNAL_PAGES):
+            raw = self._read_blocks(self._journal_lba(index), self.page_blocks)
+            try:
+                candidate = Page.from_bytes(raw)
+            except Exception:
+                continue
+            if candidate.page_id != page_id:
+                continue
+            if best is None or candidate.lsn > best.lsn:
+                best, best_image = candidate, raw
+        if best is None:
+            raise RecoveryError(
+                f"page {page_id}: in-place image is corrupt and no journal "
+                f"copy survives"
+            )
+        physical = self._write_blocks(self._page_lba(page_id), best_image)
+        self.device.flush()
+        self.stats.extra_logical_bytes += self.page_size
+        self.stats.extra_physical_bytes += physical
+        self.fault_stats.journal_repairs += 1
+        return best
 
     def recover_torn_pages(self) -> list[int]:
         """Repair in-place images that fail their checksum from journal copies."""
         repaired = []
         for index in range(self.JOURNAL_PAGES):
-            image = self.device.read_blocks(self._journal_lba(index), self.page_blocks)
+            image = self._read_blocks(self._journal_lba(index), self.page_blocks)
             try:
                 journal_page = Page.from_bytes(image)
             except Exception:
                 continue
             lba = self._page_lba(journal_page.page_id)
-            current = self.device.read_blocks(lba, self.page_blocks)
+            current = self._read_blocks(lba, self.page_blocks)
             try:
                 live = Page.from_bytes(current)
                 if live.lsn >= journal_page.lsn:
                     continue
             except Exception:
                 pass  # torn or stale in-place image: restore below
-            self.device.write_blocks(lba, image)
+            self._write_blocks(lba, image)
+            self.fault_stats.journal_repairs += 1
             repaired.append(journal_page.page_id)
         if repaired:
             self.device.flush()
         return repaired
 
     def _release_storage(self, page_id: int) -> None:
-        self.device.trim(self._page_lba(page_id), self.page_blocks)
+        self._trim(self._page_lba(page_id), self.page_blocks)
 
 
 class ShadowTablePager(Pager):
@@ -269,14 +361,14 @@ class ShadowTablePager(Pager):
         if not self._free_slots:
             raise TreeError("shadow slot pool exhausted")
         new_slot = self._free_slots.pop()
-        physical = self.device.write_blocks(self._slot_lba(new_slot), image)
+        physical = self._write_blocks(self._slot_lba(new_slot), image)
         self.device.flush()
         self._account_page_write(physical, page.page_id)
         old_slot = self._table.get(page.page_id)
         self._table[page.page_id] = new_slot
         self._persist_table_entry(page.page_id)
         if old_slot is not None:
-            self.device.trim(self._slot_lba(old_slot), self.page_blocks)
+            self._trim(self._slot_lba(old_slot), self.page_blocks)
             self._free_slots.append(old_slot)
         page.clear_dirty()
 
@@ -286,7 +378,7 @@ class ShadowTablePager(Pager):
         block = self._table_block_image(block_index)
         offset = (page_id % self.ENTRIES_PER_BLOCK) * 8
         self._ENTRY.pack_into(block, offset, self._table.get(page_id, -1))
-        physical = self.device.write_block(self.region_start + block_index, bytes(block))
+        physical = self._write_block(self.region_start + block_index, bytes(block))
         self.device.flush()
         self.stats.extra_logical_bytes += BLOCK_SIZE
         self.stats.extra_physical_bytes += physical
@@ -310,8 +402,17 @@ class ShadowTablePager(Pager):
         slot = self._table.get(page_id)
         if slot is None:
             raise RecoveryError(f"page {page_id} has no shadow-table mapping")
-        image = self.device.read_blocks(self._slot_lba(slot), self.page_blocks)
-        return Page.from_bytes(image)
+        image = self._read_blocks(self._slot_lba(slot), self.page_blocks)
+        try:
+            return Page.from_bytes(image)
+        except Exception:
+            self.fault_stats.checksum_failures += 1
+        # A shadow-table page has exactly one live copy; re-reading is the
+        # only self-healing available (heals transient corruption).
+        image = self._read_blocks(self._slot_lba(slot), self.page_blocks)
+        page = Page.from_bytes(image)
+        self.fault_stats.reread_heals += 1
+        return page
 
     def rebuild_table(self) -> None:
         """Reload the mapping from the persisted table region (restart path)."""
@@ -319,7 +420,7 @@ class ShadowTablePager(Pager):
         self._table_block_cache = {}
         used = set()
         for block_index in range(self._table_blocks()):
-            block = self.device.read_block(self.region_start + block_index)
+            block = self._read_block(self.region_start + block_index)
             base = block_index * self.ENTRIES_PER_BLOCK
             for i in range(self.ENTRIES_PER_BLOCK):
                 slot, = self._ENTRY.unpack_from(block, i * 8)
@@ -331,7 +432,7 @@ class ShadowTablePager(Pager):
     def _release_storage(self, page_id: int) -> None:
         slot = self._table.pop(page_id, None)
         if slot is not None:
-            self.device.trim(self._slot_lba(slot), self.page_blocks)
+            self._trim(self._slot_lba(slot), self.page_blocks)
             self._free_slots.append(slot)
             self._persist_table_entry(page_id)
 
@@ -368,9 +469,9 @@ class DeterministicShadowPager(Pager):
     def flush(self, page: Page) -> None:
         image = self._finalize(page)
         target = 1 - self._valid_slot.get(page.page_id, 1)
-        physical = self.device.write_blocks(self._slot_lba(page.page_id, target), image)
+        physical = self._write_blocks(self._slot_lba(page.page_id, target), image)
         self.device.flush()
-        self.device.trim(self._slot_lba(page.page_id, 1 - target), self.page_blocks)
+        self._trim(self._slot_lba(page.page_id, 1 - target), self.page_blocks)
         self._valid_slot[page.page_id] = target
         self._account_page_write(physical, page.page_id)
         page.clear_dirty()
@@ -381,16 +482,41 @@ class DeterministicShadowPager(Pager):
         self.stats.page_loads += 1
         slot = self._valid_slot.get(page_id)
         if slot is not None:
-            image = self.device.read_blocks(self._slot_lba(page_id, slot), self.page_blocks)
-            return Page.from_bytes(image)
+            image = self._read_blocks(self._slot_lba(page_id, slot), self.page_blocks)
+            try:
+                return Page.from_bytes(image)
+            except Exception:
+                self.fault_stats.checksum_failures += 1
+            # One clean re-read distinguishes transient (bus) corruption
+            # from latent media corruption.
+            image = self._read_blocks(self._slot_lba(page_id, slot), self.page_blocks)
+            try:
+                page = Page.from_bytes(image)
+            except Exception:
+                pass
+            else:
+                self.fault_stats.reread_heals += 1
+                return page
+            # Latent corruption on the known-valid slot: fall back to full
+            # arbitration, which can serve the sibling and scrub the rot.
+            self.fault_stats.arbitration_fallbacks += 1
+            del self._valid_slot[page_id]
         page, slot = self._arbitrate_slots(page_id)
         self._valid_slot[page_id] = slot
         return page
 
     def _arbitrate_slots(self, page_id: int) -> tuple[Page, int]:
-        """Read both slots in one request and pick the valid, newest image."""
-        raw = self.device.read_blocks(self._page_base(page_id), 2 * self.page_blocks)
+        """Read both slots in one request and pick the valid, newest image.
+
+        When one slot is corrupt (nonzero but failing its CRC — a torn write
+        or latent rot) while the other verifies, the corrupt slot is
+        *read-repaired*: the surviving image is rewritten over it, healing
+        the media in place.  Both slots then hold the served image, which the
+        ping-pong flush protocol tolerates (the next flush overwrites one).
+        """
+        raw = self._read_blocks(self._page_base(page_id), 2 * self.page_blocks)
         candidates: list[tuple[int, Page]] = []
+        corrupt_slots: list[int] = []
         for slot in (0, 1):
             image = raw[slot * self.page_size : (slot + 1) * self.page_size]
             if image.count(0) == len(image):
@@ -398,17 +524,37 @@ class DeterministicShadowPager(Pager):
             try:
                 candidate = Page.from_bytes(image)
             except Exception:
-                continue  # torn write: checksum mismatch
+                corrupt_slots.append(slot)  # torn write or latent rot
+                continue
             if candidate.page_id == page_id:
                 candidates.append((slot, candidate))
+            else:
+                corrupt_slots.append(slot)  # misdirected write landed here
         if not candidates:
             raise RecoveryError(f"page {page_id}: neither slot holds a valid image")
         slot, page = max(candidates, key=lambda item: item[1].lsn)
+        for bad_slot in corrupt_slots:
+            self._repair_slot(page_id, bad_slot, page.image())
         return page, slot
+
+    def _repair_slot(self, page_id: int, slot: int, image: bytes) -> None:
+        """Rewrite a corrupt slot from the surviving sibling's image."""
+        self.fault_stats.checksum_failures += 1
+        try:
+            physical = self._write_blocks(self._slot_lba(page_id, slot), image)
+            self.device.flush()
+        except TransientIOError as exc:
+            raise ReadRepairError(
+                f"page {page_id}: slot {slot} is corrupt and rewriting it "
+                f"from the sibling failed after bounded retries"
+            ) from exc
+        self.stats.extra_logical_bytes += self.page_size
+        self.stats.extra_physical_bytes += physical
+        self.fault_stats.read_repairs += 1
 
     def _release_storage(self, page_id: int) -> None:
         blocks = 2 * self.page_blocks + self.aux_blocks_per_page
-        self.device.trim(self._page_base(page_id), blocks)
+        self._trim(self._page_base(page_id), blocks)
         self._valid_slot.pop(page_id, None)
 
     def forget_volatile_state(self) -> None:

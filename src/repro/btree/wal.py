@@ -32,7 +32,9 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.csd.device import BLOCK_SIZE, BlockDevice
+from repro.csd.faults import read_block_retrying, write_block_retrying
 from repro.errors import ConfigError, WalError
+from repro.metrics.faults import FaultStats
 
 _BLOCK_MAGIC = 0x42474F4C  # "LOGB"
 _BLOCK_HDR = struct.Struct("<II")  # magic, sequence
@@ -135,6 +137,7 @@ class RedoLog:
         self.num_blocks = num_blocks
         self.sparse = sparse
         self.stats = WalStats()
+        self.fault_stats = FaultStats()
         self._sequence = 1  # sequence of the current (open) block
         self._ring_index = 0  # ring position of the current block
         self._block = bytearray(BLOCK_SIZE)
@@ -206,9 +209,16 @@ class RedoLog:
         return self._used != getattr(self, "_flushed_used", _BLOCK_HDR.size)
 
     def _write_ring_block(self, ring_index: int, image: bytes) -> None:
-        physical = self.device.write_block(self.start_block + ring_index, image)
+        physical = write_block_retrying(
+            self.device, self.start_block + ring_index, image, self.fault_stats
+        )
         self.stats.logical_bytes += BLOCK_SIZE
         self.stats.physical_bytes += physical
+
+    def _read_ring_block(self, ring_index: int) -> bytes:
+        return read_block_retrying(
+            self.device, self.start_block + ring_index, self.fault_stats
+        )
 
     # ------------------------------------------------------------- position
 
@@ -218,25 +228,45 @@ class RedoLog:
 
     # -------------------------------------------------------------- replay
 
+    @staticmethod
+    def _corrupt_tail(block: bytes, offset: int) -> bool:
+        """Nonzero bytes where decode stopped = corruption, not padding.
+
+        Fault-free, a block's bytes past its last record are always zero
+        (blocks are zero-initialised and rewritten whole), so a decode
+        failure over nonzero bytes can only be a corrupt record.
+        """
+        tail = block[offset:]
+        return tail.count(0) != len(tail)
+
     def replay(self, since: LogPosition) -> Iterator[LogRecord]:
         """Yield durable records from ``since`` to the end of the log.
 
         Scans ring blocks while their sequence numbers increase monotonically
         from ``since.sequence``; within each block, records are parsed until
         padding or a CRC failure.  Blocks whose sequence predates the cursor
-        (stale ring residue) end the scan.
+        (stale ring residue) end the scan.  A corrupt record amid nonzero
+        bytes *truncates* the log there — the records before it replay, the
+        unreadable suffix is abandoned (counted in ``fault_stats``).
         """
         ring_index = since.block_index
         expected_seq = since.sequence
         for _ in range(self.num_blocks):
-            block = self.device.read_block(self.start_block + ring_index)
+            block = self._read_ring_block(ring_index)
             magic, sequence = _BLOCK_HDR.unpack_from(block, 0)
-            if magic != _BLOCK_MAGIC or sequence < expected_seq:
+            if magic != _BLOCK_MAGIC:
+                if block.count(0) != len(block):
+                    self.fault_stats.wal_truncations += 1
+                return
+            if sequence < expected_seq:
                 return
             offset = _BLOCK_HDR.size
             while True:
                 decoded = LogRecord.decode(block, offset)
                 if decoded is None:
+                    if self._corrupt_tail(block, offset):
+                        self.fault_stats.wal_truncations += 1
+                        return
                     break
                 record, offset = decoded
                 yield record
@@ -249,20 +279,33 @@ class RedoLog:
         The returned position addresses the block *after* the last valid one,
         with a sequence higher than anything on the ring — handing it to
         :meth:`reset_to` resumes logging without ambiguity.
+
+        Corruption handling: a corrupt record amid nonzero bytes (or a
+        nonzero block with a bad header) truncates the scan at that block.
+        The records already collected are returned; the end position names
+        the corrupt block with a sequence above everything on the ring, so
+        the resumed writer's first flush overwrites — and thereby heals —
+        the corrupt block.
         """
         records: list[LogRecord] = []
         ring_index = since.block_index
         expected_seq = since.sequence
         end = LogPosition(since.block_index, since.sequence)
         for _ in range(self.num_blocks):
-            block = self.device.read_block(self.start_block + ring_index)
+            block = self._read_ring_block(ring_index)
             magic, sequence = _BLOCK_HDR.unpack_from(block, 0)
-            if magic != _BLOCK_MAGIC or sequence < expected_seq:
+            if magic != _BLOCK_MAGIC:
+                if block.count(0) != len(block):
+                    return records, self._truncated_end(ring_index)
+                break
+            if sequence < expected_seq:
                 break
             offset = _BLOCK_HDR.size
             while True:
                 decoded = LogRecord.decode(block, offset)
                 if decoded is None:
+                    if self._corrupt_tail(block, offset):
+                        return records, self._truncated_end(ring_index)
                     break
                 record, offset = decoded
                 records.append(record)
@@ -270,6 +313,23 @@ class RedoLog:
             ring_index = (ring_index + 1) % self.num_blocks
             expected_seq = sequence + 1
         return records, end
+
+    def _truncated_end(self, corrupt_ring_index: int) -> LogPosition:
+        """End position for a scan stopped by corruption.
+
+        The writer must restart with a sequence strictly above every block
+        still on the ring, or stale higher-sequence residue past the corrupt
+        block would be replayed as if it followed the new records.  Probing
+        all ring headers for the maximum sequence guarantees that.
+        """
+        self.fault_stats.wal_truncations += 1
+        max_seq = 0
+        for index in range(self.num_blocks):
+            header = self._read_ring_block(index)[: _BLOCK_HDR.size]
+            magic, sequence = _BLOCK_HDR.unpack_from(header, 0)
+            if magic == _BLOCK_MAGIC:
+                max_seq = max(max_seq, sequence)
+        return LogPosition(corrupt_ring_index, max_seq + 1)
 
     def blocks_since(self, position: LogPosition) -> int:
         """Ring blocks consumed since ``position`` (checkpoint pacing input)."""

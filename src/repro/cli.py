@@ -169,6 +169,28 @@ def cmd_speed(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faultcheck(args: argparse.Namespace) -> int:
+    """``repro faultcheck``: the fault-injection / crash-point campaign.
+
+    Enumerates every device mutation boundary in a commit pipeline, crash
+    tests each one (drop and torn modes), runs seeded probabilistic fault
+    plans, and verifies targeted corruption self-heals (shadow-slot
+    read-repair, journal-ring restore, WAL tail truncation).  Exit code 0
+    means every check passed.
+    """
+    import json as _json
+
+    from repro.bench.faultcheck import format_report, run_faultcheck
+
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    report = run_faultcheck(
+        systems, ops=args.ops, budget=args.budget,
+        trials=args.trials, seed=args.seed,
+    )
+    print(_json.dumps(report, indent=2) if args.json else format_report(report))
+    return 0 if report["passed"] else 1
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench``: run the perf-regression micro-benchmarks.
 
@@ -207,6 +229,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("bench_args", nargs=argparse.REMAINDER,
                          help="arguments forwarded to repro.bench.regression")
     bench_p.set_defaults(func=cmd_bench)
+
+    flt_p = sub.add_parser(
+        "faultcheck",
+        help="systematic crash-point and fault-injection campaign")
+    flt_p.add_argument("--systems", default="bminus,btree-det-shadow,"
+                       "btree-journal,btree-shadow-table",
+                       help="comma-separated system list (see "
+                            "repro.bench.faultcheck.FAULTCHECK_SYSTEMS)")
+    flt_p.add_argument("--ops", type=int, default=200,
+                       help="operations per campaign workload")
+    flt_p.add_argument("--budget", type=int, default=24,
+                       help="max crash points tested per crash mode")
+    flt_p.add_argument("--trials", type=int, default=3,
+                       help="seeded probabilistic fault-plan trials")
+    flt_p.add_argument("--seed", type=int, default=2022)
+    flt_p.add_argument("--json", action="store_true",
+                       help="emit the full JSON report instead of a summary")
+    flt_p.set_defaults(func=cmd_faultcheck)
 
     spd_p = sub.add_parser("speed", help="estimate TPS for several systems")
     spd_p.add_argument("--systems", default="rocksdb,wiredtiger,bminus")

@@ -148,6 +148,11 @@ class BMinusTree:
     def clock(self) -> SimClock:
         return self.engine.clock
 
+    @property
+    def fault_stats(self):
+        """Merged fault detection/self-healing counters (see FaultStats)."""
+        return self.engine.fault_stats
+
     def traffic_snapshot(self) -> TrafficSnapshot:
         return self.engine.traffic_snapshot()
 

@@ -180,7 +180,7 @@ class DeltaShadowPager(DeterministicShadowPager):
         block = DeltaBlock(
             page_id, base_lsn, page.lsn, self.segment_size, ordered, payload
         ).encode(self.page_size)
-        physical = self.device.write_block(self._delta_lba(page_id), block)
+        physical = self._write_block(self._delta_lba(page_id), block)
         self.device.flush()
         self.stats.delta_flushes += 1
         self.stats.page_flushes += 1
@@ -194,10 +194,10 @@ class DeltaShadowPager(DeterministicShadowPager):
         page_id = page.page_id
         image = page.image()
         target = 1 - self._valid_slot.get(page_id, 1)
-        physical = self.device.write_blocks(self._slot_lba(page_id, target), image)
+        physical = self._write_blocks(self._slot_lba(page_id, target), image)
         self.device.flush()
-        self.device.trim(self._slot_lba(page_id, 1 - target), self.page_blocks)
-        self.device.trim(self._delta_lba(page_id))
+        self._trim(self._slot_lba(page_id, 1 - target), self.page_blocks)
+        self._trim(self._delta_lba(page_id), 1)
         self._valid_slot[page_id] = target
         self._account_page_write(physical, page_id)
         self.stats.full_flushes += 1
@@ -218,25 +218,30 @@ class DeltaShadowPager(DeterministicShadowPager):
         """
         self.stats.page_loads += 1
         slot = self._valid_slot.get(page_id)
-        if slot == 0:
-            raw = self.device.read_blocks(self._page_base(page_id),
-                                          self.page_blocks + 1)
-            base_page = Page.from_bytes(raw[: self.page_size])
-            delta_raw = raw[self.page_size :]
-        elif slot == 1:
-            raw = self.device.read_blocks(self._delta_lba(page_id),
-                                          self.page_blocks + 1)
-            base_page = Page.from_bytes(raw[BLOCK_SIZE:])
-            delta_raw = raw[:BLOCK_SIZE]
-        else:
+        base_page = delta_raw = None
+        if slot is not None:
+            base_page, delta_raw = self._load_known_slot(page_id, slot)
+        if base_page is None:
             region_blocks = 2 * self.page_blocks + 1
-            raw = self.device.read_blocks(self._page_base(page_id), region_blocks)
+            raw = self._read_blocks(self._page_base(page_id), region_blocks)
             base_page, slot = self._arbitrate_images(page_id, raw)
             self._valid_slot[page_id] = slot
             # In the full-region request the delta block always sits between
             # the slots, at offset l_pg.
             delta_raw = raw[self.page_size : self.page_size + BLOCK_SIZE]
         delta = DeltaBlock.decode(delta_raw, self.page_size)
+        if delta_raw.count(0) != len(delta_raw) and (
+            delta is None or delta.page_id != page_id
+        ):
+            # Nonzero delta block that cannot belong to this page: latent
+            # corruption or a misdirected write.  Fall back to the full base
+            # image (any lost updates are the redo log's to replay) and
+            # scrub the block so the rot does not linger.
+            self.fault_stats.delta_fallbacks += 1
+            self._trim(self._delta_lba(page_id), 1)
+            self.device.flush()
+            self.fault_stats.delta_scrubs += 1
+            delta = None
         if (
             delta is not None
             and delta.page_id == page_id
@@ -251,9 +256,43 @@ class DeltaShadowPager(DeterministicShadowPager):
         self._base_lsn[page_id] = base_page.lsn
         return base_page
 
+    def _load_known_slot(
+        self, page_id: int, slot: int
+    ) -> tuple[Optional[Page], Optional[bytes]]:
+        """Single-request load of the cached valid slot plus its delta block.
+
+        Returns ``(None, None)`` when the slot image fails verification even
+        after a clean re-read — the caller then falls back to full-region
+        arbitration, which serves the sibling and read-repairs the rot.
+        """
+        if slot == 0:
+            lba, base_off, delta_off = self._page_base(page_id), 0, self.page_size
+        else:
+            lba, base_off, delta_off = self._delta_lba(page_id), BLOCK_SIZE, 0
+        raw = self._read_blocks(lba, self.page_blocks + 1)
+        try:
+            base_page = Page.from_bytes(raw[base_off : base_off + self.page_size])
+        except Exception:
+            self.fault_stats.checksum_failures += 1
+        else:
+            return base_page, raw[delta_off : delta_off + BLOCK_SIZE]
+        # One clean re-read distinguishes transient (bus) corruption from
+        # latent media corruption.
+        raw = self._read_blocks(lba, self.page_blocks + 1)
+        try:
+            base_page = Page.from_bytes(raw[base_off : base_off + self.page_size])
+        except Exception:
+            self.fault_stats.arbitration_fallbacks += 1
+            del self._valid_slot[page_id]
+            return None, None
+        self.fault_stats.reread_heals += 1
+        return base_page, raw[delta_off : delta_off + BLOCK_SIZE]
+
     def _arbitrate_images(self, page_id: int, raw: bytes) -> tuple[Page, int]:
+        """Pick the valid, newest slot image; read-repair a corrupt sibling."""
         slot_offsets = {0: 0, 1: self.page_size + BLOCK_SIZE}
         candidates: list[tuple[int, Page]] = []
+        corrupt_slots: list[int] = []
         for slot in (0, 1):
             offset = slot_offsets[slot]
             image = raw[offset : offset + self.page_size]
@@ -262,12 +301,17 @@ class DeltaShadowPager(DeterministicShadowPager):
             try:
                 candidate = Page.from_bytes(image)
             except Exception:
+                corrupt_slots.append(slot)  # torn write or latent rot
                 continue
             if candidate.page_id == page_id:
                 candidates.append((slot, candidate))
+            else:
+                corrupt_slots.append(slot)  # misdirected write landed here
         if not candidates:
             raise RecoveryError(f"page {page_id}: neither slot holds a valid image")
         slot, page = max(candidates, key=lambda item: item[1].lsn)
+        for bad_slot in corrupt_slots:
+            self._repair_slot(page_id, bad_slot, page.image())
         return page, slot
 
     # ------------------------------------------------------------ bookkeeping

@@ -6,6 +6,11 @@ engine directly on the I/O path, maps the resulting variable-length extents
 through an FTL, and reports the amount of post-compression data physically
 written to flash (the quantity the paper's write-amplification numbers are
 computed from).
+
+:mod:`repro.csd.faults` layers programmable fault injection on top: a
+:class:`FaultInjectingDevice` wrapper driven by a seeded :class:`FaultPlan`
+(latent corruption, transient I/O errors, torn writes, dropped TRIMs,
+misdirected writes, scripted crash points).
 """
 
 from repro.csd.compression import (
@@ -22,6 +27,18 @@ from repro.csd.device import (
     CompressedBlockDevice,
     PlainSSD,
 )
+from repro.csd.faults import (
+    RETRY_ATTEMPTS,
+    FaultInjectingDevice,
+    FaultPlan,
+    InjectionStats,
+    ScriptedFault,
+    read_block_retrying,
+    read_blocks_retrying,
+    trim_retrying,
+    write_block_retrying,
+    write_blocks_retrying,
+)
 from repro.csd.filedevice import FileBackedBlockDevice
 from repro.csd.ftl import FlashTranslationLayer
 from repro.csd.latency import DeviceLatencyModel, HostCostModel
@@ -34,13 +51,23 @@ __all__ = [
     "Compressor",
     "DeviceLatencyModel",
     "DeviceStats",
+    "FaultInjectingDevice",
+    "FaultPlan",
     "FileBackedBlockDevice",
     "FlashTranslationLayer",
     "HostCostModel",
+    "InjectionStats",
     "NullCompressor",
     "PlainSSD",
+    "RETRY_ATTEMPTS",
+    "ScriptedFault",
     "SizeCachingCompressor",
     "ZeroRunEstimator",
     "ZeroTailZlibCompressor",
     "ZlibCompressor",
+    "read_block_retrying",
+    "read_blocks_retrying",
+    "trim_retrying",
+    "write_block_retrying",
+    "write_blocks_retrying",
 ]

@@ -27,6 +27,7 @@ entries are dropped without ever being materialised as ``bytes``.
 
 from __future__ import annotations
 
+import random
 from abc import ABC
 from typing import Callable, Optional
 
@@ -38,7 +39,7 @@ from repro.csd.compression import (
 )
 from repro.csd.ftl import FlashTranslationLayer, GreedyGcModel
 from repro.csd.stats import DeviceStats
-from repro.errors import AlignmentError, OutOfRangeError
+from repro.errors import AlignmentError, FaultInjectionError, OutOfRangeError
 
 #: I/O unit of the simulated devices, matching the paper's 4KB LBA blocks.
 BLOCK_SIZE = 4096
@@ -47,6 +48,27 @@ _ZERO_BLOCK = bytes(BLOCK_SIZE)
 
 #: Sentinel stored in the volatile write buffer to mark an unflushed TRIM.
 _TRIMMED = None
+
+
+def _torn_survival(
+    keep_torn: Optional[int], survives: Optional[Callable[[int], bool]]
+) -> Optional[Callable[[int], bool]]:
+    """Resolve ``simulate_crash``'s torn-write arguments into one predicate.
+
+    ``keep_torn`` is a seed: each pending 4KB block independently survives
+    with probability one half, drawn from ``random.Random(keep_torn)`` — the
+    torn multi-block write the paper's deterministic shadowing defends
+    against, made reproducible.  It is mutually exclusive with an explicit
+    ``survives`` predicate.
+    """
+    if keep_torn is None:
+        return survives
+    if survives is not None:
+        raise FaultInjectionError(
+            "simulate_crash: pass either survives= or keep_torn=, not both"
+        )
+    rng = random.Random(keep_torn)
+    return lambda lba: rng.random() < 0.5
 
 
 def default_compressor() -> Compressor:
@@ -200,20 +222,26 @@ class BlockDevice(ABC):
     # ------------------------------------------------------- crash testing
 
     def simulate_crash(
-        self, survives: Optional[Callable[[int], bool]] = None
+        self,
+        survives: Optional[Callable[[int], bool]] = None,
+        keep_torn: Optional[int] = None,
     ) -> list[int]:
         """Drop un-flushed writes, modelling a power failure.
 
         ``survives(lba)`` may let individual pending 4KB block writes reach
         stable storage anyway (each block is atomic, but a multi-block write
         can land partially — this is exactly the torn page write the paper's
-        shadowing defends against).  Pending entries are considered in
+        shadowing defends against).  ``keep_torn=<seed>`` is a shorthand for
+        a seeded coin-flip predicate (each pending block survives with
+        probability one half) — the reproducible torn-crash mode the
+        fault-injection campaigns use.  Pending entries are considered in
         journal (last-write) order.  Returns the LBAs whose pending update
         was lost, and leaves the device ready for recovery reads.
 
         Note: FTL live-byte accounting is not rolled back for lost writes;
         crash simulations exercise recovery correctness, not space accounting.
         """
+        survives = _torn_survival(keep_torn, survives)
         lost: list[int] = []
         for lba, data in list(self._pending.items()):
             if survives is not None and survives(lba):

@@ -26,6 +26,7 @@ from repro.csd.device import (
     BlockDevice,
     _TRIMMED,
     _ZERO_BLOCK,
+    _torn_survival,
     default_compressor,
 )
 from repro.csd.ftl import GreedyGcModel
@@ -49,6 +50,7 @@ class FileBackedBlockDevice(BlockDevice):
             gc_model,
         )
         self.path = path
+        self._crashed = False
         preexisting = os.path.exists(path)
         self._file = open(path, "r+b" if preexisting else "w+b")
         if preexisting:
@@ -57,8 +59,14 @@ class FileBackedBlockDevice(BlockDevice):
             self._file.truncate(num_blocks * BLOCK_SIZE)
 
     def close(self) -> None:
-        """Flush pending writes and close the backing file."""
-        self.flush()
+        """Flush pending writes and close the backing file.
+
+        After :meth:`simulate_crash`, closing must *not* re-persist writes
+        the crash declared lost: the flush is skipped unless new writes were
+        issued post-crash (which re-arms normal durability semantics).
+        """
+        if self._pending or not self._crashed:
+            self.flush()
         self._file.close()
 
     def __enter__(self) -> "FileBackedBlockDevice":
@@ -77,6 +85,7 @@ class FileBackedBlockDevice(BlockDevice):
         (``file.write`` consumes them without materialising bytes).
         """
         self.stats.flush_ios += 1
+        self._crashed = False
         for lba, data in self._pending.items():
             self._file.seek(lba * BLOCK_SIZE)
             if data is _TRIMMED:
@@ -86,8 +95,10 @@ class FileBackedBlockDevice(BlockDevice):
         self._file.flush()
         self._pending.clear()
 
-    def simulate_crash(self, survives=None) -> list[int]:
+    def simulate_crash(self, survives=None, keep_torn=None) -> list[int]:
         """Drop (or selectively apply) un-flushed writes; see the base class."""
+        survives = _torn_survival(keep_torn, survives)
+        self._crashed = True
         lost: list[int] = []
         for lba, data in list(self._pending.items()):
             if survives is not None and survives(lba):

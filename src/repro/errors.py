@@ -29,7 +29,35 @@ class CapacityError(DeviceError):
 
 
 class TornWriteError(DeviceError):
-    """A block was only partially persisted before a simulated crash."""
+    """A multi-block write was only partially persisted (torn write).
+
+    Raised by the fault-injection layer when a write request tears: a strict
+    prefix of the request's 4KB blocks reached the device before the fault.
+    Each block is individually atomic, so callers may retry the whole request
+    (block writes are idempotent) — see the pager's bounded-retry path.
+    """
+
+
+class TransientIOError(DeviceError):
+    """A read/write request failed transiently (media retry, link reset).
+
+    The operation had no effect; retrying the identical request is expected
+    to succeed.  Injected by :class:`repro.csd.faults.FaultInjectingDevice`
+    and absorbed by the consumers' bounded-retry helpers.
+    """
+
+
+class FaultInjectionError(DeviceError):
+    """A fault-injection plan is invalid or was used incorrectly."""
+
+
+class SimulatedCrashError(DeviceError):
+    """Control-flow signal: a scripted crash point fired.
+
+    The fault-injecting device already applied the crash semantics (pending
+    writes dropped or partially applied) before raising; the test harness
+    catches this and proceeds to recovery.
+    """
 
 
 class ChecksumError(ReproError):
@@ -58,6 +86,15 @@ class KeyNotFoundError(TreeError, KeyError):
 
 class RecoveryError(ReproError):
     """Crash recovery could not reconstruct a consistent state."""
+
+
+class ReadRepairError(RecoveryError):
+    """A self-healing read-repair attempt itself failed.
+
+    Raised when a corrupt shadow slot was detected, a healthy sibling was
+    available to serve the read, but rewriting the corrupt slot failed even
+    after bounded retries — the store is readable but could not be scrubbed.
+    """
 
 
 class WalError(ReproError):

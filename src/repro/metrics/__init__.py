@@ -1,5 +1,11 @@
-"""Write-amplification accounting (the paper's Eq. (1)/(2) decomposition)."""
+"""Write-amplification and fault accounting.
+
+Two measurement surfaces: the paper's Eq. (1)/(2) write-traffic decomposition
+(:mod:`repro.metrics.counters`) and the self-healing fault counters
+(:mod:`repro.metrics.faults`).
+"""
 
 from repro.metrics.counters import TrafficSnapshot, WaReport, compute_wa
+from repro.metrics.faults import FaultStats
 
-__all__ = ["TrafficSnapshot", "WaReport", "compute_wa"]
+__all__ = ["FaultStats", "TrafficSnapshot", "WaReport", "compute_wa"]

@@ -4,16 +4,19 @@ Each scenario runs a random workload with per-commit log flushing, crashes at
 a random point with *random per-block survival* of unflushed writes (modelling
 arbitrarily torn multi-block page writes), recovers, and asserts that exactly
 the committed prefix of the history is visible.
+
+Set ``REPRO_FUZZ_SEED=<n>`` to replay one scenario; failures print the seed
+to replay (see ``tests/fuzz.py``).
 """
 
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given
 
 from repro.btree.engine import BTreeConfig, BTreeEngine
 from repro.csd.device import CompressedBlockDevice
+from tests.fuzz import fuzz_settings, report_seed, seed_strategy
 
 
 def key(i: int) -> bytes:
@@ -33,8 +36,8 @@ def config(strategy: str) -> BTreeConfig:
 
 
 @pytest.mark.parametrize("strategy", ["journal", "shadow-table", "det-shadow"])
-@settings(max_examples=6, deadline=None)
-@given(seed=st.integers(0, 2**32))
+@fuzz_settings(max_examples=6, deadline=None)
+@given(seed=seed_strategy())
 def test_random_crash_point_recovers_committed_state(strategy, seed):
     rng = random.Random(seed)
     device = CompressedBlockDevice(num_blocks=200_000)
@@ -61,16 +64,18 @@ def test_random_crash_point_recovers_committed_state(strategy, seed):
     # Crash with random per-4KB-block survival: any multi-block page write in
     # flight may tear in any pattern.
     device.simulate_crash(survives=lambda lba: rng.random() < 0.5)
-    recovered = BTreeEngine.open(device, config(strategy))
-    state = dict(recovered.items())
-    assert state == committed, (
-        f"seed={seed}: recovered {len(state)} records, expected {len(committed)}"
-    )
-    recovered.tree.check_invariants()
-    # The recovered store must remain fully usable.
-    recovered.put(key(999), b"post-recovery")
-    recovered.commit()
-    assert recovered.get(key(999)) == b"post-recovery"
+    with report_seed(seed):
+        recovered = BTreeEngine.open(device, config(strategy))
+        state = dict(recovered.items())
+        assert state == committed, (
+            f"seed={seed}: recovered {len(state)} records, "
+            f"expected {len(committed)}"
+        )
+        recovered.tree.check_invariants()
+        # The recovered store must remain fully usable.
+        recovered.put(key(999), b"post-recovery")
+        recovered.commit()
+        assert recovered.get(key(999)) == b"post-recovery"
 
 
 @pytest.mark.parametrize("strategy", ["journal", "shadow-table", "det-shadow"])

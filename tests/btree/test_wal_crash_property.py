@@ -3,11 +3,16 @@
 Invariant: after any interleaving of appends, flushes, and a crash, a scan
 returns exactly the records appended before the last flush, in order —
 nothing lost, nothing invented, nothing reordered.
+
+Set ``REPRO_FUZZ_SEED=<n>`` to pin Hypothesis's example generation (see
+``tests/fuzz.py``).
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from tests.fuzz import fuzz_settings
 
 from repro.btree.wal import LogOp, LogPosition, LogRecord, RedoLog
 from repro.csd.device import CompressedBlockDevice
@@ -17,7 +22,7 @@ def record(lsn):
     return LogRecord(lsn, 0, LogOp.PUT, b"k%d" % lsn, b"v" * (lsn % 50))
 
 
-@settings(max_examples=40, deadline=None)
+@fuzz_settings(max_examples=40, deadline=None)
 @given(
     sparse=st.booleans(),
     plan=st.lists(st.sampled_from(["append", "flush"]), min_size=1, max_size=60),
@@ -39,7 +44,7 @@ def test_property_crash_preserves_flushed_prefix(sparse, plan):
     assert [r.lsn for r in recovered] == list(range(1, flushed + 1))
 
 
-@settings(max_examples=25, deadline=None)
+@fuzz_settings(max_examples=25, deadline=None)
 @given(
     sparse=st.booleans(),
     n_batches=st.integers(1, 12),

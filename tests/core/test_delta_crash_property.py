@@ -5,11 +5,16 @@ before TRIMs become durable, with arbitrary per-block tearing — a fresh
 pager recovers *some durably flushed image* of the page: exactly the last
 flushed image when the final flush's blocks all survived, and never a torn
 or frankensteined one.
+
+Set ``REPRO_FUZZ_SEED=<n>`` to replay one scenario; failures print the seed
+to replay (see ``tests/fuzz.py``).
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from tests.fuzz import fuzz_settings, report_seed, seed_strategy
 
 from repro.btree.page import Page
 from repro.core.delta import DeltaShadowPager
@@ -24,9 +29,9 @@ def make_pager(device):
                             threshold=1024, segment_size=128)
 
 
-@settings(max_examples=40, deadline=None)
+@fuzz_settings(max_examples=40, deadline=None)
 @given(
-    seed=st.integers(0, 2**32),
+    seed=seed_strategy(),
     n_flushes=st.integers(1, 10),
     survival=st.floats(0.0, 1.0),
 )
@@ -58,15 +63,16 @@ def test_property_crash_recovers_a_flushed_image(seed, n_flushes, survival):
     device.simulate_crash(survives=lambda lba: rng.random() < survival)
 
     fresh = make_pager(device)
-    recovered = fresh.load(page.page_id)
-    assert recovered.image() in flushed_images, (
-        "recovered image is not any durably flushed version"
-    )
-    assert recovered.image() == flushed_images[-1]
+    with report_seed(seed):
+        recovered = fresh.load(page.page_id)
+        assert recovered.image() in flushed_images, (
+            "recovered image is not any durably flushed version"
+        )
+        assert recovered.image() == flushed_images[-1]
 
 
-@settings(max_examples=30, deadline=None)
-@given(seed=st.integers(0, 2**32))
+@fuzz_settings(max_examples=30, deadline=None)
+@given(seed=seed_strategy())
 def test_property_torn_final_flush_falls_back_one_version(seed):
     """If the final full flush tears, recovery lands on the previous image."""
     rng = DeterministicRng(seed)
@@ -94,6 +100,7 @@ def test_property_torn_final_flush_falls_back_one_version(seed):
     device.simulate_crash(survives=lambda b: b == surviving_block)
 
     fresh = make_pager(device)
-    recovered = fresh.load(page.page_id)
-    assert recovered.image() == good
-    assert recovered.lsn == 1
+    with report_seed(seed):
+        recovered = fresh.load(page.page_id)
+        assert recovered.image() == good
+        assert recovered.lsn == 1

@@ -1,0 +1,71 @@
+"""Shared helpers for the seeded crash-fuzz and property test suites.
+
+The fuzz suites draw a per-example integer ``seed`` and derive every random
+choice (workload, crash point, block survival) from it, so one integer
+reproduces one failing scenario exactly.  Two knobs connect that to CI and
+to local debugging:
+
+* ``REPRO_FUZZ_SEED=<n>`` pins the run.  Seed-parameterised tests replay
+  exactly that scenario (``seed_strategy`` collapses to ``st.just(n)``);
+  plan-parameterised tests pin Hypothesis's own PRNG via ``@seed(n)`` so
+  the same examples are generated.  CI's extended-fuzz job uses this to
+  run a rotating seed on ``main`` and a fixed one on pull requests.
+* On failure, :func:`report_seed` appends a copy-pasteable
+  ``REPRO_FUZZ_SEED=<n> pytest ...`` line to the assertion message, so the
+  failing scenario from a CI log reproduces locally with no shrinking run.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from hypothesis import seed as _hypothesis_seed
+from hypothesis import settings as _hypothesis_settings
+from hypothesis import strategies as st
+
+#: Parsed value of the ``REPRO_FUZZ_SEED`` environment variable (accepts
+#: decimal or ``0x``-prefixed hex), or ``None`` when the variable is unset.
+FUZZ_SEED: Optional[int] = None
+_raw = os.environ.get("REPRO_FUZZ_SEED")
+if _raw:
+    FUZZ_SEED = int(_raw, 0)
+
+
+def seed_strategy(lo: int = 0, hi: int = 2**32) -> st.SearchStrategy:
+    """Strategy for a scenario seed: ``integers(lo, hi)``, unless
+    ``REPRO_FUZZ_SEED`` is set, in which case exactly that seed."""
+    if FUZZ_SEED is not None:
+        return st.just(FUZZ_SEED)
+    return st.integers(lo, hi)
+
+
+def fuzz_settings(**kwargs):
+    """``hypothesis.settings(...)`` plus the ``REPRO_FUZZ_SEED`` pin.
+
+    With the environment variable set, the decorated test also gets
+    ``@hypothesis.seed(n)`` (deterministic example generation) and, for
+    seed-parameterised tests combined with :func:`seed_strategy`, runs the
+    pinned scenario only once (``max_examples=1``).
+    """
+    if FUZZ_SEED is not None:
+        kwargs.setdefault("print_blob", True)
+
+        def decorate(fn):
+            return _hypothesis_seed(FUZZ_SEED)(_hypothesis_settings(**kwargs)(fn))
+
+        return decorate
+    return _hypothesis_settings(**kwargs)
+
+
+@contextmanager
+def report_seed(seed: int) -> Iterator[None]:
+    """Re-raise assertion failures with a ``REPRO_FUZZ_SEED`` repro line."""
+    try:
+        yield
+    except AssertionError as exc:
+        raise AssertionError(
+            f"{exc}\nreproduce with: REPRO_FUZZ_SEED={seed} "
+            f"PYTHONPATH=src python -m pytest <this test>"
+        ) from None

@@ -1,0 +1,77 @@
+"""Smoke tests for the ``repro faultcheck`` campaign and its CLI plumbing.
+
+The full four-system campaign runs in CI's extended-fuzz job; here a scaled-
+down configuration proves the scheduler, the phase wiring, the report shape,
+and the exit-code contract.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.faultcheck import (
+    FAULTCHECK_SYSTEMS,
+    format_report,
+    make_workload,
+    run_crash_schedule,
+    run_faultcheck,
+    _make_suts,
+)
+from repro.cli import main
+
+
+def test_workload_is_deterministic():
+    assert make_workload(7, 50) == make_workload(7, 50)
+    assert make_workload(7, 50) != make_workload(8, 50)
+    kinds = {op[0] for op in make_workload(7, 200)}
+    assert kinds == {"put", "del"}
+
+
+def test_crash_schedule_covers_both_modes():
+    sut = _make_suts()["btree-det-shadow"]
+    stream = make_workload(5, 60)
+    crash = run_crash_schedule(sut, stream, seed=5, budget=6)
+    report = crash.as_dict()
+    assert not report["failures"]
+    # budget points x (drop, torn) modes, every one fired and recovered.
+    assert report["tested"] == report["crashes_fired"] == 12
+    assert report["mutation_points"] > report["tested"]
+
+
+@pytest.mark.parametrize("system", ["bminus", "btree-journal"])
+def test_scaled_down_campaign_passes(system):
+    report = run_faultcheck([system], ops=200, budget=4, trials=1, seed=2022)
+    assert report["passed"], format_report(report)
+    entry = report["systems"][system]
+    assert entry["crash_points"]["failures"] == []
+    assert entry["fault_trials"]["failures"] == []
+    # The targeted-corruption phase must actually heal something.
+    counter = ("read_repairs" if entry["repair"]["style"] == "shadow"
+               else "journal_repairs")
+    assert entry["repair"][counter] > 0
+    text = format_report(report)
+    assert "PASSED" in text and system in text
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ValueError):
+        run_faultcheck(["btree-rocksdb"], ops=20, budget=1, trials=0)
+    assert "bminus" in FAULTCHECK_SYSTEMS
+
+
+def test_cli_faultcheck_json(capsys):
+    rc = main(["faultcheck", "--systems", "btree-journal", "--ops", "200",
+               "--budget", "2", "--trials", "1", "--json"])
+    out = capsys.readouterr().out
+    report = json.loads(out)
+    assert rc == 0
+    assert report["passed"] is True
+    assert set(report["systems"]) == {"btree-journal"}
+
+
+def test_cli_faultcheck_summary(capsys):
+    rc = main(["faultcheck", "--systems", "btree-shadow-table", "--ops", "80",
+               "--budget", "2", "--trials", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "PASSED" in out
