@@ -30,6 +30,8 @@ from repro.csd.device import BLOCK_SIZE, CompressedBlockDevice
 from repro.errors import ConfigError
 from repro.lsm.engine import LSMConfig, LSMEngine
 from repro.metrics.counters import WaReport
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsHub
 from repro.sim.clock import SimClock
 from repro.sim.rng import DeterministicRng
 from repro.workloads.records import KeySpace
@@ -136,6 +138,10 @@ class ExperimentResult:
     engine: object = None
     device: object = None
     clock: object = None
+    #: Observability digest (op-latency quantiles + windowed WA series) when
+    #: the run carried a :class:`~repro.obs.metrics.MetricsHub`; a plain
+    #: JSON-safe dict, so it survives ``detach_result`` pickling.
+    obs: Optional[dict] = None
 
     @property
     def wa_total(self) -> float:
@@ -175,6 +181,9 @@ def build_engine(spec: ExperimentSpec):
     """Construct (engine, device, clock) for a spec."""
     spec.validate()
     clock = SimClock()
+    if obs_trace.TRACER is not None:
+        # Trace timestamps follow this run's simulated clock.
+        obs_trace.TRACER.attach_clock(clock)
     if spec.system == "rocksdb":
         # Scale RocksDB's 64MB memtable / 256MB L1 to the dataset so the
         # level count approaches the paper's dataset:memtable ratio of ~2400.
@@ -252,17 +261,30 @@ def build_engine(spec: ExperimentSpec):
 # ----------------------------------------------------------------- running
 
 
-def run_wa_experiment(spec: ExperimentSpec) -> ExperimentResult:
-    """Populate, run the steady random-write phase, and measure everything."""
+def run_wa_experiment(
+    spec: ExperimentSpec, hub: Optional[MetricsHub] = None
+) -> ExperimentResult:
+    """Populate, run the steady random-write phase, and measure everything.
+
+    ``hub`` attaches an explicit :class:`~repro.obs.metrics.MetricsHub`;
+    without one, a hub is created automatically whenever tracing is enabled
+    (``REPRO_TRACE``), so a traced ``repro run`` gets the WA-over-time
+    series for free.  The hub only reads counters — results are unaffected.
+    """
     engine, device, clock = build_engine(spec)
+    if hub is None and obs_trace.tracing_enabled():
+        hub = MetricsHub()
     rng = DeterministicRng(spec.seed)
-    runner = WorkloadRunner(engine, device, clock, n_threads=spec.n_threads)
+    runner = WorkloadRunner(engine, device, clock, n_threads=spec.n_threads,
+                            hub=hub)
     populate = runner.populate(spec.keyspace, rng.split("populate"))
     steady = runner.run_random_writes(
         spec.keyspace, spec.steady_op_count, rng.split("steady")
     )
     beta = engine.beta() if hasattr(engine, "beta") else 0.0
     level_shape = engine.level_shape() if hasattr(engine, "level_shape") else []
+    if hub is not None:
+        hub.finish(clock.now, engine.traffic_snapshot(), device.stats)
     return ExperimentResult(
         spec=spec,
         populate=populate,
@@ -275,6 +297,7 @@ def run_wa_experiment(spec: ExperimentSpec) -> ExperimentResult:
         engine=engine,
         device=device,
         clock=clock,
+        obs=hub.summary() if hub is not None else None,
     )
 
 

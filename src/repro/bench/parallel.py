@@ -45,7 +45,13 @@ def default_jobs() -> int:
 
 
 def detach_result(result: ExperimentResult) -> ExperimentResult:
-    """Strip live simulation objects so the result is cheap to pickle."""
+    """Strip live simulation objects so the result is cheap to pickle.
+
+    Only the live handles are dropped; every materialised field survives the
+    process boundary, including the JSON-safe ``obs`` summary (per-op latency
+    histograms and the windowed WA series), which workers can therefore
+    produce and the parent can merge.
+    """
     result.engine = None
     result.device = None
     result.clock = None

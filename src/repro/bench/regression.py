@@ -42,6 +42,7 @@ from typing import Callable, Dict, Optional
 
 from repro.bench.harness import ExperimentSpec, run_wa_experiment
 from repro.bench.parallel import run_specs
+from repro.obs import trace as obs_trace
 from repro.csd.compression import (
     Compressor,
     SizeCachingCompressor,
@@ -204,6 +205,40 @@ def bench_end_to_end(scale: float = 1.0) -> Dict[str, Dict[str, float]]:
     return out
 
 
+def bench_trace_overhead(scale: float = 1.0) -> Dict[str, object]:
+    """Wall-clock cost of running with the event tracer + metrics hub on.
+
+    Runs the same small experiment twice — tracer uninstalled, then installed
+    (which also turns on the per-op latency/WA-window hub) — and reports the
+    slowdown ratio plus whether the measured WA stayed bit-identical, which
+    the observability layer guarantees.  Recorded for the trajectory only,
+    not gated: the ratio is noisy at this workload size and the tracing-off
+    path is already covered by the gated benchmarks.
+    """
+    spec = ExperimentSpec(system="bminus",
+                          n_records=max(2000, int(6000 * scale)),
+                          steady_ops=max(1500, int(4000 * scale)))
+    start = time.perf_counter()
+    off = run_wa_experiment(spec)
+    off_seconds = time.perf_counter() - start
+    obs_trace.install_tracer(capacity=65536)
+    try:
+        start = time.perf_counter()
+        on = run_wa_experiment(spec)
+        on_seconds = time.perf_counter() - start
+        events = obs_trace.TRACER.emitted
+    finally:
+        obs_trace.uninstall_tracer()
+    return {
+        "off_seconds": round(off_seconds, 3),
+        "on_seconds": round(on_seconds, 3),
+        "overhead_ratio": round(on_seconds / off_seconds, 3),
+        "events_emitted": events,
+        "results_identical": (off.wa.wa_total, off.physical_usage)
+        == (on.wa.wa_total, on.physical_usage),
+    }
+
+
 def measure(jobs: int = 4, scale: float = 1.0, writes: int = 6000) -> Dict:
     """Run every micro-benchmark and return the report dict."""
     device_write = {
@@ -230,6 +265,7 @@ def measure(jobs: int = 4, scale: float = 1.0, writes: int = 6000) -> Dict:
         },
         "figure_run": bench_figure_run(jobs=jobs, scale=scale),
         "end_to_end": bench_end_to_end(scale=scale),
+        "trace_overhead": bench_trace_overhead(scale=scale),
     }
     return report
 

@@ -53,6 +53,7 @@ from repro.errors import (
     TreeError,
 )
 from repro.metrics.faults import FaultStats
+from repro.obs.trace import maybe_instant, maybe_span
 
 
 @dataclass
@@ -234,21 +235,23 @@ class JournalPager(Pager):
         self._journal_cursor = 0
 
     def flush(self, page: Page) -> None:
-        image = self._finalize(page)
-        journal_physical = self._write_blocks(
-            self._journal_lba(self._journal_cursor), image
-        )
-        self._journal_cursor = (self._journal_cursor + 1) % self.JOURNAL_PAGES
-        self.device.flush()
-        self.stats.extra_logical_bytes += self.page_size
-        self.stats.extra_physical_bytes += journal_physical
-        physical = self._write_blocks(self._page_lba(page.page_id), image)
-        self.device.flush()
-        self._account_page_write(physical, page.page_id)
-        page.clear_dirty()
+        with maybe_span("pager.journal_flush", "btree", page_id=page.page_id):
+            image = self._finalize(page)
+            journal_physical = self._write_blocks(
+                self._journal_lba(self._journal_cursor), image
+            )
+            self._journal_cursor = (self._journal_cursor + 1) % self.JOURNAL_PAGES
+            self.device.flush()
+            self.stats.extra_logical_bytes += self.page_size
+            self.stats.extra_physical_bytes += journal_physical
+            physical = self._write_blocks(self._page_lba(page.page_id), image)
+            self.device.flush()
+            self._account_page_write(physical, page.page_id)
+            page.clear_dirty()
 
     def load(self, page_id: int) -> Page:
         self.stats.page_loads += 1
+        maybe_instant("pager.load", "btree", page_id=page_id)
         lba = self._page_lba(page_id)
         image = self._read_blocks(lba, self.page_blocks)
         try:
@@ -357,20 +360,21 @@ class ShadowTablePager(Pager):
         return self.region_start + self._table_blocks() + slot * self.page_blocks
 
     def flush(self, page: Page) -> None:
-        image = self._finalize(page)
-        if not self._free_slots:
-            raise TreeError("shadow slot pool exhausted")
-        new_slot = self._free_slots.pop()
-        physical = self._write_blocks(self._slot_lba(new_slot), image)
-        self.device.flush()
-        self._account_page_write(physical, page.page_id)
-        old_slot = self._table.get(page.page_id)
-        self._table[page.page_id] = new_slot
-        self._persist_table_entry(page.page_id)
-        if old_slot is not None:
-            self._trim(self._slot_lba(old_slot), self.page_blocks)
-            self._free_slots.append(old_slot)
-        page.clear_dirty()
+        with maybe_span("pager.table_flush", "btree", page_id=page.page_id):
+            image = self._finalize(page)
+            if not self._free_slots:
+                raise TreeError("shadow slot pool exhausted")
+            new_slot = self._free_slots.pop()
+            physical = self._write_blocks(self._slot_lba(new_slot), image)
+            self.device.flush()
+            self._account_page_write(physical, page.page_id)
+            old_slot = self._table.get(page.page_id)
+            self._table[page.page_id] = new_slot
+            self._persist_table_entry(page.page_id)
+            if old_slot is not None:
+                self._trim(self._slot_lba(old_slot), self.page_blocks)
+                self._free_slots.append(old_slot)
+            page.clear_dirty()
 
     def _persist_table_entry(self, page_id: int) -> None:
         """Write the 4KB table block containing ``page_id``'s mapping."""
@@ -399,6 +403,7 @@ class ShadowTablePager(Pager):
 
     def load(self, page_id: int) -> Page:
         self.stats.page_loads += 1
+        maybe_instant("pager.load", "btree", page_id=page_id)
         slot = self._table.get(page_id)
         if slot is None:
             raise RecoveryError(f"page {page_id} has no shadow-table mapping")
@@ -467,19 +472,22 @@ class DeterministicShadowPager(Pager):
     # ------------------------------------------------------------- flushing
 
     def flush(self, page: Page) -> None:
-        image = self._finalize(page)
         target = 1 - self._valid_slot.get(page.page_id, 1)
-        physical = self._write_blocks(self._slot_lba(page.page_id, target), image)
-        self.device.flush()
-        self._trim(self._slot_lba(page.page_id, 1 - target), self.page_blocks)
-        self._valid_slot[page.page_id] = target
-        self._account_page_write(physical, page.page_id)
-        page.clear_dirty()
+        with maybe_span("pager.shadow_flip", "btree",
+                        page_id=page.page_id, slot=target):
+            image = self._finalize(page)
+            physical = self._write_blocks(self._slot_lba(page.page_id, target), image)
+            self.device.flush()
+            self._trim(self._slot_lba(page.page_id, 1 - target), self.page_blocks)
+            self._valid_slot[page.page_id] = target
+            self._account_page_write(physical, page.page_id)
+            page.clear_dirty()
 
     # -------------------------------------------------------------- loading
 
     def load(self, page_id: int) -> Page:
         self.stats.page_loads += 1
+        maybe_instant("pager.load", "btree", page_id=page_id)
         slot = self._valid_slot.get(page_id)
         if slot is not None:
             image = self._read_blocks(self._slot_lba(page_id, slot), self.page_blocks)

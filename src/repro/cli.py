@@ -25,6 +25,7 @@ from repro.bench.harness import (
 from repro.bench.parallel import default_jobs, run_specs
 from repro.bench.reporting import format_table
 from repro.bench.speed import SpeedModel
+from repro.errors import ReproError
 
 
 def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
@@ -88,10 +89,10 @@ _WA_HEADERS = ["system", "WA", "WA_log", "WA_pg", "WA_e", "WA(logical)",
                "logical", "physical", "beta"]
 
 
-def _run_wa(args: argparse.Namespace, system: str):
+def _run_wa(args: argparse.Namespace, system: str, hub=None):
     spec = _spec_from_args(args, system)
     if args.distribution == "uniform":
-        return run_wa_experiment(spec)
+        return run_wa_experiment(spec, hub=hub)
     # Zipfian variant: same phases, skewed steady stream.
     from repro.bench.harness import ExperimentResult, build_engine
     from repro.sim.rng import DeterministicRng
@@ -99,16 +100,20 @@ def _run_wa(args: argparse.Namespace, system: str):
 
     engine, device, clock = build_engine(spec)
     rng = DeterministicRng(spec.seed)
-    runner = WorkloadRunner(engine, device, clock, n_threads=spec.n_threads)
+    runner = WorkloadRunner(engine, device, clock, n_threads=spec.n_threads,
+                            hub=hub)
     populate = runner.populate(spec.keyspace, rng.split("populate"))
     steady = runner.run_zipfian_writes(
         spec.keyspace, spec.steady_op_count, rng.split("steady"), theta=args.theta)
+    if hub is not None:
+        hub.finish(clock.now, engine.traffic_snapshot(), device.stats)
     return ExperimentResult(
         spec=spec, populate=populate, steady=steady, wa=steady.wa(),
         logical_usage=device.logical_bytes_used,
         physical_usage=device.physical_bytes_used,
         beta=engine.beta() if hasattr(engine, "beta") else 0.0,
         engine=engine, device=device, clock=clock,
+        obs=hub.summary() if hub is not None else None,
     )
 
 
@@ -169,6 +174,110 @@ def cmd_speed(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: run one experiment with event tracing on.
+
+    Installs the global tracer, runs the same experiment as ``repro run``,
+    and exports the captured events — Chrome ``trace_event`` JSON to
+    ``--out`` (load it in ``chrome://tracing`` / Perfetto), or the plain-text
+    timeline to stdout with ``--out -``.  The export is validated against the
+    documented schema first; a validation failure or an unwritable output
+    path exits nonzero.  The tracer is uninstalled on the way out, so the
+    process-global state never leaks past the command.
+    """
+    from repro.obs import trace as obs_trace
+
+    obs_trace.install_tracer(capacity=args.capacity)
+    try:
+        result = _run_wa(args, args.system)
+        tracer = obs_trace.TRACER
+        summary = (f"{tracer.emitted} events captured "
+                   f"({tracer.dropped} dropped by the ring)")
+        if args.out == "-":
+            print(tracer.format_timeline(limit=args.limit))
+            print(summary, file=sys.stderr)
+        else:
+            problems = obs_trace.validate_chrome_trace(tracer.to_chrome())
+            if problems:
+                for problem in problems:
+                    print(f"repro trace: invalid event: {problem}",
+                          file=sys.stderr)
+                return 1
+            tracer.export_chrome(args.out)
+            print(f"{summary}; wrote {args.out}", file=sys.stderr)
+    finally:
+        obs_trace.uninstall_tracer()
+    print(format_table(
+        f"Write amplification: {result.spec.label()}",
+        _WA_HEADERS, [_wa_row(result)],
+    ))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats``: per-op latency histograms + WA-over-time windows.
+
+    Runs one experiment with a :class:`~repro.obs.metrics.MetricsHub`
+    attached and prints the per-operation simulated-latency quantiles and
+    the time-windowed WA decomposition.  ``--watch`` streams each window to
+    stdout as it closes (the windows are simulated time, so they appear at
+    the simulation's pace, not wall clock); ``--json`` exports the full hub
+    (mergeable histograms + window series) for offline analysis.
+    """
+    import json as _json
+
+    from repro.obs.metrics import MetricsHub
+
+    def _print_window(window: dict) -> None:
+        usr = window.get("user_bytes", 0)
+        physical = (window.get("log_physical", 0)
+                    + window.get("page_physical", 0)
+                    + window.get("extra_physical", 0))
+        wa = physical / usr if usr > 0 else 0.0
+        print(f"[{window['start']:10.2f}s .. {window['end']:10.2f}s] "
+              f"user={usr / 1e6:9.3f}MB physical={physical / 1e6:9.3f}MB "
+              f"WA={wa:7.2f} ops={window.get('operations', 0)}")
+
+    hub = MetricsHub(window_seconds=args.window,
+                     on_window=_print_window if args.watch else None)
+    result = _run_wa(args, args.system, hub=hub)
+    summary = result.obs
+
+    lat_rows = [
+        [kind, s["n"]] + [f"{s[q] * 1e6:.1f}"
+                          for q in ("mean", "p50", "p90", "p99", "max")]
+        for kind, s in summary["op_latency"].items()
+    ]
+    print(format_table(
+        f"Simulated per-op latency (us): {result.spec.label()}",
+        ["op", "n", "mean", "p50", "p90", "p99", "max"], lat_rows,
+        note="modelled device busy time + host op base, simulated clock",
+    ))
+
+    wa_rows = [
+        [f"{w['start']:.1f}", f"{w['end']:.1f}",
+         f"{w['user_bytes'] / 1e6:.3f}MB",
+         f"{w['wa_log']:.2f}", f"{w['wa_pg']:.2f}", f"{w['wa_e']:.2f}",
+         f"{w['wa_total']:.2f}", w["operations"]]
+        for w in summary["wa_windows"]
+    ]
+    print(format_table(
+        f"WA over time ({args.window:g}s windows)",
+        ["start", "end", "user", "WA_log", "WA_pg", "WA_e", "WA", "ops"],
+        wa_rows,
+    ))
+
+    if args.json:
+        payload = _json.dumps(hub.to_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
 def cmd_faultcheck(args: argparse.Namespace) -> int:
     """``repro faultcheck``: the fault-injection / crash-point campaign.
 
@@ -224,6 +333,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_arguments(cmp_p)
     cmp_p.set_defaults(func=cmd_compare)
 
+    trc_p = sub.add_parser(
+        "trace", help="run one experiment with event tracing, export the trace")
+    trc_p.add_argument("--system", choices=SYSTEMS, default="bminus")
+    trc_p.add_argument("--capacity", type=int, default=65536,
+                       help="trace ring-buffer capacity in events "
+                            "(oldest events drop beyond this)")
+    trc_p.add_argument("--out", default="trace.json",
+                       help="Chrome trace_event JSON output path; "
+                            "'-' prints the text timeline to stdout instead")
+    trc_p.add_argument("--limit", type=int, default=None,
+                       help="with --out -, print only the last N events")
+    _add_spec_arguments(trc_p)
+    trc_p.set_defaults(func=cmd_trace)
+
+    sts_p = sub.add_parser(
+        "stats", help="per-op latency histograms and WA-over-time windows")
+    sts_p.add_argument("--system", choices=SYSTEMS, default="bminus")
+    sts_p.add_argument("--window", type=float, default=1.0,
+                       help="WA window width in simulated seconds")
+    sts_p.add_argument("--watch", action="store_true",
+                       help="stream each window to stdout as it closes")
+    sts_p.add_argument("--json", default=None, metavar="PATH",
+                       help="export the full hub (histograms + windows) as "
+                            "JSON; '-' for stdout")
+    _add_spec_arguments(sts_p)
+    sts_p.set_defaults(func=cmd_stats)
+
     bench_p = sub.add_parser(
         "bench", help="perf micro-benchmarks (see repro.bench.regression)")
     bench_p.add_argument("bench_args", nargs=argparse.REMAINDER,
@@ -260,16 +396,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    argv = list(sys.argv[1:] if argv is None else argv)
-    if argv[:1] == ["bench"] and argv[1:2] != ["-h"] and argv[1:2] != ["--help"]:
-        # Forward everything after `bench` verbatim: argparse REMAINDER
-        # rejects a leading option-like token (`repro bench --check`).
-        from repro.bench.regression import main as regression_main
+    """CLI entry point; returns a process exit code.
 
-        return regression_main(argv[1:])
-    args = build_parser().parse_args(argv)
-    return args.func(args)
+    Library failures (:class:`~repro.errors.ReproError`) and I/O failures
+    (``OSError`` — missing baselines, unwritable export paths) exit 1 with a
+    one-line message instead of a traceback, so scripts and CI can gate on
+    the exit code.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        if argv[:1] == ["bench"] and argv[1:2] != ["-h"] and argv[1:2] != ["--help"]:
+            # Forward everything after `bench` verbatim: argparse REMAINDER
+            # rejects a leading option-like token (`repro bench --check`).
+            from repro.bench.regression import main as regression_main
+
+            return regression_main(argv[1:])
+        args = build_parser().parse_args(argv)
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -40,6 +40,7 @@ from repro.btree.page import DIRTY_GRAIN, Page
 from repro.btree.pager import DeterministicShadowPager
 from repro.csd.device import BLOCK_SIZE
 from repro.errors import ConfigError, RecoveryError
+from repro.obs.trace import maybe_instant, maybe_span
 
 DELTA_MAGIC = b"DLT1"
 _HDR = struct.Struct("<4sQQQHHI")  # magic, page_id, base_lsn, lsn, seg_size, nsegs, crc
@@ -173,37 +174,40 @@ class DeltaShadowPager(DeterministicShadowPager):
             self._full_flush(page)
             return
         ordered = sorted(segments)
-        payload = b"".join(
-            bytes(page.buf[s * self.segment_size : (s + 1) * self.segment_size])
-            for s in ordered
-        )
-        block = DeltaBlock(
-            page_id, base_lsn, page.lsn, self.segment_size, ordered, payload
-        ).encode(self.page_size)
-        physical = self._write_block(self._delta_lba(page_id), block)
-        self.device.flush()
-        self.stats.delta_flushes += 1
-        self.stats.page_flushes += 1
-        self.stats.page_logical_bytes += BLOCK_SIZE
-        self.stats.page_physical_bytes += physical
-        self._fvec[page_id] = segments
-        page.clear_dirty()
+        with maybe_span("pager.delta_flush", "btree", page_id=page_id,
+                        delta_bytes=delta_size, nsegs=len(ordered)):
+            payload = b"".join(
+                bytes(page.buf[s * self.segment_size : (s + 1) * self.segment_size])
+                for s in ordered
+            )
+            block = DeltaBlock(
+                page_id, base_lsn, page.lsn, self.segment_size, ordered, payload
+            ).encode(self.page_size)
+            physical = self._write_block(self._delta_lba(page_id), block)
+            self.device.flush()
+            self.stats.delta_flushes += 1
+            self.stats.page_flushes += 1
+            self.stats.page_logical_bytes += BLOCK_SIZE
+            self.stats.page_physical_bytes += physical
+            self._fvec[page_id] = segments
+            page.clear_dirty()
 
     def _full_flush(self, page: Page) -> None:
         """Write the whole page via shadowing and reset the logging process."""
         page_id = page.page_id
-        image = page.image()
         target = 1 - self._valid_slot.get(page_id, 1)
-        physical = self._write_blocks(self._slot_lba(page_id, target), image)
-        self.device.flush()
-        self._trim(self._slot_lba(page_id, 1 - target), self.page_blocks)
-        self._trim(self._delta_lba(page_id), 1)
-        self._valid_slot[page_id] = target
-        self._account_page_write(physical, page_id)
-        self.stats.full_flushes += 1
-        self._fvec[page_id] = set()
-        self._base_lsn[page_id] = page.lsn
-        page.clear_dirty()
+        with maybe_span("pager.full_flush", "btree", page_id=page_id, slot=target):
+            image = page.image()
+            physical = self._write_blocks(self._slot_lba(page_id, target), image)
+            self.device.flush()
+            self._trim(self._slot_lba(page_id, 1 - target), self.page_blocks)
+            self._trim(self._delta_lba(page_id), 1)
+            self._valid_slot[page_id] = target
+            self._account_page_write(physical, page_id)
+            self.stats.full_flushes += 1
+            self._fvec[page_id] = set()
+            self._base_lsn[page_id] = page.lsn
+            page.clear_dirty()
 
     # -------------------------------------------------------------- loading
 
@@ -217,6 +221,7 @@ class DeltaShadowPager(DeterministicShadowPager):
         transfer only, exactly the trade the paper makes (§3.1).
         """
         self.stats.page_loads += 1
+        maybe_instant("pager.load", "btree", page_id=page_id)
         slot = self._valid_slot.get(page_id)
         base_page = delta_raw = None
         if slot is not None:

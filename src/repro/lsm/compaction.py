@@ -11,6 +11,7 @@ import heapq
 from typing import Callable, Iterator, Optional
 
 from repro.lsm.sstable import SSTableReader, SSTableWriter
+from repro.obs.trace import maybe_instant
 
 
 def merge_tables(
@@ -67,12 +68,16 @@ def write_merged(
         writer.add(key, value)
         if writer.estimated_bytes >= table_target_bytes:
             meta, lo, ph = writer.finish()
+            maybe_instant("lsm.table_written", "lsm", table_id=meta.table_id,
+                          records=meta.n_records, logical=lo, physical=ph)
             metas.append(meta)
             logical += lo
             physical += ph
             writer = None
     if writer is not None and writer.count:
         meta, lo, ph = writer.finish()
+        maybe_instant("lsm.table_written", "lsm", table_id=meta.table_id,
+                      records=meta.n_records, logical=lo, physical=ph)
         metas.append(meta)
         logical += lo
         physical += ph

@@ -32,6 +32,7 @@ from repro.lsm.memtable import MemTable
 from repro.lsm.sstable import ExtentAllocator, SSTableReader, SSTableWriter
 from repro.lsm.version import VersionSet
 from repro.metrics.counters import TrafficSnapshot
+from repro.obs.trace import maybe_span
 from repro.sim.clock import SimClock
 
 
@@ -270,21 +271,22 @@ class LSMEngine:
         """Write the memtable as a level-0 table and run due compactions."""
         if len(self.memtable) == 0:
             return
-        if self.wal is not None:
-            self.wal.flush()  # everything in the memtable must be durable
-        writer = self._make_writer(expected_keys=len(self.memtable))
-        for key, value in self.memtable.items():
-            writer.add(key, value)
-        meta, logical, physical = writer.finish()
-        self.flush_logical += logical
-        self.flush_physical += physical
-        self.versions.add_table(0, SSTableReader.open(self.device, meta.start_block, meta.num_blocks))
-        self.memtable = MemTable(seed=self._next_seq)
-        self.memtable_flushes += 1
-        if self.wal is not None:
-            self._log_pos = self.wal.position()
-        self._run_compactions()
-        self._persist_manifest()
+        with maybe_span("lsm.memtable_flush", "lsm", records=len(self.memtable)):
+            if self.wal is not None:
+                self.wal.flush()  # everything in the memtable must be durable
+            writer = self._make_writer(expected_keys=len(self.memtable))
+            for key, value in self.memtable.items():
+                writer.add(key, value)
+            meta, logical, physical = writer.finish()
+            self.flush_logical += logical
+            self.flush_physical += physical
+            self.versions.add_table(0, SSTableReader.open(self.device, meta.start_block, meta.num_blocks))
+            self.memtable = MemTable(seed=self._next_seq)
+            self.memtable_flushes += 1
+            if self.wal is not None:
+                self._log_pos = self.wal.position()
+            self._run_compactions()
+            self._persist_manifest()
 
     def _make_writer(self, expected_keys: int, seq: Optional[int] = None) -> SSTableWriter:
         """New table writer.
@@ -320,25 +322,31 @@ class LSMEngine:
         bottom = job.output_level >= self.versions.deepest_nonempty_level()
         expected = sum(r.meta.n_records for r in inputs)
         output_seq = max(r.meta.seq for r in inputs)
-        stream = merge_tables(inputs, drop_tombstones=bottom)
-        metas, logical, physical = write_merged(
-            stream,
-            lambda: self._make_writer(max(1, expected), seq=output_seq),
-            self.config.table_target_bytes,
-        )
-        self.compact_logical += logical
-        self.compact_physical += physical
-        self.compactions_run += 1
-        self.versions.remove_tables(job.level, job.inputs)
-        self.versions.remove_tables(job.output_level, job.overlaps)
-        for meta in metas:
-            self.versions.add_table(
-                job.output_level,
-                SSTableReader.open(self.device, meta.start_block, meta.num_blocks),
+        with maybe_span("lsm.compaction", "lsm", level=job.level,
+                        output_level=job.output_level,
+                        inputs=len(inputs)) as span_args:
+            stream = merge_tables(inputs, drop_tombstones=bottom)
+            metas, logical, physical = write_merged(
+                stream,
+                lambda: self._make_writer(max(1, expected), seq=output_seq),
+                self.config.table_target_bytes,
             )
-        for reader in inputs:
-            self.device.trim(reader.meta.start_block, reader.meta.num_blocks)
-            self.allocator.free(reader.meta.start_block, reader.meta.num_blocks)
+            self.compact_logical += logical
+            self.compact_physical += physical
+            self.compactions_run += 1
+            self.versions.remove_tables(job.level, job.inputs)
+            self.versions.remove_tables(job.output_level, job.overlaps)
+            for meta in metas:
+                self.versions.add_table(
+                    job.output_level,
+                    SSTableReader.open(self.device, meta.start_block, meta.num_blocks),
+                )
+            for reader in inputs:
+                self.device.trim(reader.meta.start_block, reader.meta.num_blocks)
+                self.allocator.free(reader.meta.start_block, reader.meta.num_blocks)
+            if span_args is not None:
+                span_args.update(outputs=len(metas), logical=logical,
+                                 physical=physical)
 
     def _persist_manifest(self) -> None:
         entries = [

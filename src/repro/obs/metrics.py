@@ -1,0 +1,155 @@
+"""Per-run metrics collection: op-latency histograms + windowed WA series.
+
+A :class:`MetricsHub` is the object the workload runner feeds when
+observability is on.  It owns
+
+* one :class:`~repro.obs.hist.LatencyHistogram` per operation kind
+  (``put`` / ``read`` / ``scan``), recording the modelled device+host
+  latency of each operation (the device-stat delta of the op run through
+  :class:`~repro.csd.latency.DeviceLatencyModel`, plus the host op base
+  cost — simulated time, never wall clock), and
+* one :class:`~repro.obs.hist.WindowedSeries` of the cumulative traffic
+  and device counters, from which per-window WA decompositions
+  (:func:`wa_windows`) are derived.
+
+Hubs merge across ``repro.bench.parallel`` worker shards (histograms merge
+bucket-exactly; window rows concatenate) and serialise to JSON-safe dicts
+that survive pickling through ``detach_result``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.csd.latency import DeviceLatencyModel, HostCostModel
+from repro.csd.stats import DeviceStats
+from repro.metrics.counters import TrafficSnapshot
+from repro.obs.hist import LatencyHistogram, WindowedSeries
+
+#: Cumulative counters tracked per window.  The traffic fields are exactly
+#: the ones the WA decomposition (Eq. (1)-(2)) is computed from, so the
+#: windowed series sums to the end-of-run WA inputs field by field.
+WINDOW_FIELDS = (
+    "user_bytes",
+    "log_physical",
+    "page_physical",
+    "extra_physical",
+    "total_logical",
+    "operations",
+    "write_ios",
+    "read_ios",
+    "flush_ios",
+)
+
+
+class MetricsHub:
+    """Collects per-op latency histograms and the windowed WA series."""
+
+    def __init__(
+        self,
+        window_seconds: float = 1.0,
+        on_window: Optional[Callable[[dict], None]] = None,
+    ) -> None:
+        self.op_latency: Dict[str, LatencyHistogram] = {}
+        self.series = WindowedSeries(window_seconds, on_window)
+        self.device_model = DeviceLatencyModel()
+        self.host_model = HostCostModel()
+
+    # ----------------------------------------------------------- recording
+
+    def histogram(self, kind: str) -> LatencyHistogram:
+        hist = self.op_latency.get(kind)
+        if hist is None:
+            hist = self.op_latency[kind] = LatencyHistogram()
+        return hist
+
+    def record_op(self, kind: str, device_delta: DeviceStats) -> None:
+        """Record one operation's modelled latency from its device traffic."""
+        latency = self.device_model.busy_time(device_delta) + self.host_model.op_base
+        self.histogram(kind).record(latency)
+
+    @staticmethod
+    def _values(traffic: TrafficSnapshot, device: DeviceStats) -> Dict[str, float]:
+        return {
+            "user_bytes": traffic.user_bytes,
+            "log_physical": traffic.log_physical,
+            "page_physical": traffic.page_physical,
+            "extra_physical": traffic.extra_physical,
+            "total_logical": traffic.total_logical,
+            "operations": traffic.operations,
+            "write_ios": device.write_ios,
+            "read_ios": device.read_ios,
+            "flush_ios": device.flush_ios,
+        }
+
+    def sample(self, t: float, traffic: TrafficSnapshot, device: DeviceStats) -> None:
+        """Feed the window series one cumulative sample at simulated ``t``."""
+        self.series.sample(t, self._values(traffic, device))
+
+    def finish(self, t: float, traffic: TrafficSnapshot, device: DeviceStats) -> None:
+        """Close the final partial window with a last sample."""
+        self.series.finish(t, self._values(traffic, device))
+
+    # ----------------------------------------------------------- reporting
+
+    def wa_windows(self) -> List[dict]:
+        """The window rows with per-window WA decompositions attached.
+
+        ``wa_*`` fields divide each window's physical byte deltas by its
+        user-byte delta (0 when no user bytes landed in the window), i.e.
+        the paper's WA decomposition restricted to that slice of time.
+        """
+        out = []
+        for window in self.series.windows:
+            row = dict(window)
+            usr = row.get("user_bytes", 0)
+            physical = (
+                row.get("log_physical", 0)
+                + row.get("page_physical", 0)
+                + row.get("extra_physical", 0)
+            )
+            if usr > 0:
+                row["wa_log"] = row["log_physical"] / usr
+                row["wa_pg"] = row["page_physical"] / usr
+                row["wa_e"] = row["extra_physical"] / usr
+                row["wa_total"] = physical / usr
+            else:
+                row["wa_log"] = row["wa_pg"] = row["wa_e"] = row["wa_total"] = 0.0
+            out.append(row)
+        return out
+
+    def summary(self) -> dict:
+        """JSON-safe digest stored on ``ExperimentResult.obs``."""
+        return {
+            "op_latency": {
+                kind: hist.summary() for kind, hist in sorted(self.op_latency.items())
+            },
+            "window_seconds": self.series.window,
+            "wa_windows": self.wa_windows(),
+            "totals": self.series.totals(),
+        }
+
+    # ------------------------------------------------------ merge/serialise
+
+    def merge(self, other: "MetricsHub") -> "MetricsHub":
+        """Fold another hub (e.g. a parallel worker's shard) into this one."""
+        for kind, hist in other.op_latency.items():
+            self.histogram(kind).merge(hist)
+        self.series.windows.extend(other.series.windows)
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "op_latency": {
+                kind: hist.to_dict() for kind, hist in sorted(self.op_latency.items())
+            },
+            "series": self.series.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsHub":
+        hub = cls(window_seconds=data["series"]["window_seconds"])
+        for kind, hist_data in data["op_latency"].items():
+            hub.op_latency[kind] = LatencyHistogram.from_dict(hist_data)
+        hub.series.windows = [dict(window) for window in data["series"]["windows"]]
+        return hub

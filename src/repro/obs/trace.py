@@ -1,0 +1,333 @@
+"""Structured event tracing: ring-buffered spans and instants for the stack.
+
+Every layer of the simulation — the CSD device, the pagers, the redo log,
+the delta pager, the LSM compactor, the fault-healing paths — carries hook
+points that emit events into a process-global :class:`Tracer` when one is
+installed.  With no tracer installed (the default) each hook is a single
+``is None`` test on a module attribute, and *nothing else runs*: tracing can
+never write to the device, advance the simulated clock, or perturb any
+counter, so a traced run is bit-identical to an untraced one.
+
+Enable tracing either programmatically (:func:`install_tracer` /
+:func:`uninstall_tracer`) or through the environment::
+
+    REPRO_TRACE=1        # tracer with the default ring capacity
+    REPRO_TRACE=200000   # tracer with an explicit ring capacity
+    REPRO_TRACE=0        # (or unset) disabled
+
+Timestamps come from the simulated clock when one is attached
+(:meth:`Tracer.attach_clock`; the experiment harness attaches the run's
+``SimClock`` automatically), plus a strictly monotone sub-microsecond
+sequence tick so every event has a distinct, ordered timestamp even inside
+a single simulated instant.  Without a clock, timestamps are the bare
+sequence ticks.  Either way they are deterministic — no wall clock anywhere.
+
+Export formats
+--------------
+
+``to_chrome()`` produces the Chrome ``trace_event`` JSON object documented
+below (load it at ``chrome://tracing`` or https://ui.perfetto.dev), and
+``format_timeline()`` renders a plain-text timeline.
+
+Chrome-trace schema (checked by :func:`validate_chrome_trace`):
+
+* top level: an object with key ``"traceEvents"`` holding a list of events;
+  ``"displayTimeUnit"`` and ``"otherData"`` are optional extras.
+* every event is an object with string ``name`` and ``cat``, ``ph`` one of
+  ``"X"`` (complete span), ``"i"`` (instant) or ``"C"`` (counter), numeric
+  ``ts`` >= 0 in microseconds, integer ``pid`` and ``tid``, and an ``args``
+  object mapping string keys to JSON scalars (str/int/float/bool/null).
+* ``"X"`` events additionally carry a numeric ``dur`` >= 0 (microseconds);
+  ``"i"`` events carry a scope ``s`` of ``"t"`` (thread-scoped).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from contextlib import contextmanager, nullcontext
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Default ring-buffer capacity (events); older events are dropped first.
+DEFAULT_CAPACITY = 65536
+
+#: Sub-microsecond tick added per event so timestamps are strictly monotone
+#: (distinct and ordered) even when the simulated clock stands still.
+_TICK_US = 0.001
+
+_VALID_PHASES = ("X", "i", "C")
+
+
+class TraceEvent:
+    """One trace event: a completed span (``X``), instant (``i``) or counter
+    (``C``) with a name, category, microsecond timestamp and scalar args."""
+
+    __slots__ = ("name", "cat", "ph", "ts", "dur", "args")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        ph: str,
+        ts: float,
+        dur: float,
+        args: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.ts = ts
+        self.dur = dur
+        self.args = args
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """This event as a Chrome ``trace_event`` dict (see module schema)."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts": self.ts,
+            "pid": 1,
+            "tid": 1,
+            "args": self.args,
+        }
+        if self.ph == "X":
+            out["dur"] = self.dur
+        elif self.ph == "i":
+            out["s"] = "t"
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEvent({self.name!r}, ph={self.ph}, ts={self.ts:.3f})"
+
+
+class Tracer:
+    """Ring-buffered event collector.
+
+    The buffer holds the newest ``capacity`` events; when it wraps, the
+    oldest events are discarded and counted in :attr:`dropped` (``emitted``
+    always counts every event ever recorded).  All recording methods are
+    O(1) and touch nothing outside the tracer itself.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, clock=None) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer ring capacity must be positive")
+        self.capacity = capacity
+        self.events: deque = deque(maxlen=capacity)
+        self.dropped = 0
+        self.emitted = 0
+        self._clock = clock
+        self._seq = 0
+
+    # ------------------------------------------------------------ recording
+
+    def attach_clock(self, clock) -> None:
+        """Timestamp subsequent events from ``clock`` (a ``SimClock``)."""
+        self._clock = clock
+
+    def _stamp(self) -> float:
+        self._seq += 1
+        if self._clock is not None:
+            return self._clock.now_us + self._seq * _TICK_US
+        return self._seq * _TICK_US
+
+    def _append(self, event: TraceEvent) -> None:
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+        self.emitted += 1
+
+    def instant(self, name: str, cat: str = "repro", **args: Any) -> None:
+        """Record a point-in-time event."""
+        self._append(TraceEvent(name, cat, "i", self._stamp(), 0.0, args))
+
+    def counter(self, name: str, cat: str = "repro", **values: Any) -> None:
+        """Record a counter sample (rendered as a graph by trace viewers)."""
+        self._append(TraceEvent(name, cat, "C", self._stamp(), 0.0, values))
+
+    @contextmanager
+    def span(self, name: str, cat: str = "repro", **args: Any) -> Iterator[Dict[str, Any]]:
+        """Record a nestable span covering the ``with`` body.
+
+        Yields the ``args`` dict; entries added inside the body appear on
+        the completed event.  The span is appended at exit, but its ``ts``
+        is the entry timestamp, so viewers nest it around the events it
+        contains.
+        """
+        start = self._stamp()
+        try:
+            yield args
+        finally:
+            end = self._stamp()
+            self._append(TraceEvent(name, cat, "X", start, end - start, args))
+
+    # -------------------------------------------------------------- export
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The buffered events as a Chrome ``trace_event`` JSON object."""
+        return {
+            "traceEvents": [event.to_chrome() for event in self.events],
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+                "capacity": self.capacity,
+            },
+        }
+
+    def export_chrome(self, path: str) -> None:
+        """Write :meth:`to_chrome` as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+    def format_timeline(self, limit: Optional[int] = None) -> str:
+        """Plain-text timeline, one line per event in timestamp order.
+
+        ``limit`` keeps only the newest ``limit`` events.
+        """
+        events = sorted(self.events, key=lambda event: event.ts)
+        if limit is not None and limit >= 0:
+            events = events[len(events) - min(limit, len(events)):]
+        lines = [
+            f"# {self.emitted} events emitted, {self.dropped} dropped "
+            f"(ring capacity {self.capacity}); timestamps in simulated µs"
+        ]
+        for event in events:
+            args = " ".join(f"{k}={v}" for k, v in event.args.items())
+            if event.ph == "X":
+                kind = f"span {event.dur:9.3f}µs"
+            elif event.ph == "C":
+                kind = "ctr " + " " * 9
+            else:
+                kind = "evt " + " " * 9
+            lines.append(
+                f"{event.ts:16.3f} {kind} {event.cat:>6} {event.name:<24} {args}".rstrip()
+            )
+        return "\n".join(lines)
+
+
+# -------------------------------------------------------------- global hook
+
+#: The process-global tracer the hook points consult.  ``None`` (the
+#: default) disables tracing; hooks are then a single attribute test.
+TRACER: Optional[Tracer] = None
+
+
+def tracing_enabled() -> bool:
+    """True when a global tracer is installed."""
+    return TRACER is not None
+
+
+def install_tracer(
+    tracer: Optional[Tracer] = None, capacity: Optional[int] = None
+) -> Tracer:
+    """Install (and return) the global tracer all hook points record into."""
+    global TRACER
+    TRACER = tracer if tracer is not None else Tracer(capacity or DEFAULT_CAPACITY)
+    return TRACER
+
+
+def uninstall_tracer() -> Optional[Tracer]:
+    """Remove and return the global tracer (restoring zero overhead)."""
+    global TRACER
+    tracer, TRACER = TRACER, None
+    return tracer
+
+
+_NULL_SPAN = nullcontext()
+
+
+def maybe_span(name: str, cat: str = "repro", **args: Any):
+    """A tracer span when tracing is enabled, else a shared no-op context."""
+    tracer = TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, cat, **args)
+
+
+def maybe_instant(name: str, cat: str = "repro", **args: Any) -> None:
+    """Record an instant event when tracing is enabled; no-op otherwise."""
+    tracer = TRACER
+    if tracer is not None:
+        tracer.instant(name, cat, **args)
+
+
+def configure_from_env() -> Optional[Tracer]:
+    """Install a tracer according to ``REPRO_TRACE`` (see module docs).
+
+    Returns the installed tracer, or ``None`` (leaving the global state
+    untouched) when the variable is unset/disabled.
+    """
+    raw = os.environ.get("REPRO_TRACE", "").strip().lower()
+    if raw in ("", "0", "off", "false", "no"):
+        return None
+    if raw in ("1", "on", "true", "yes"):
+        return install_tracer(capacity=DEFAULT_CAPACITY)
+    try:
+        capacity = int(raw, 0)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_TRACE={raw!r}: expected 0/1/on/off or a ring capacity"
+        ) from None
+    return install_tracer(capacity=capacity)
+
+
+# ---------------------------------------------------------- schema checking
+
+
+def _scalar(value: Any) -> bool:
+    return value is None or isinstance(value, (str, int, float, bool))
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Check ``doc`` against the documented Chrome-trace schema.
+
+    Returns a list of problem descriptions — empty when the document is
+    valid.  This is what the ``repro trace`` exporter and the golden-file
+    test run over every produced trace.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top level must contain a 'traceEvents' list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "cat"):
+            if not isinstance(event.get(key), str):
+                problems.append(f"{where}: missing/non-string {key!r}")
+        ph = event.get("ph")
+        if ph not in _VALID_PHASES:
+            problems.append(f"{where}: ph must be one of {_VALID_PHASES}, got {ph!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            problems.append(f"{where}: ts must be a number >= 0")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int) or isinstance(event.get(key), bool):
+                problems.append(f"{where}: {key} must be an integer")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                problems.append(f"{where}: 'X' event needs a numeric dur >= 0")
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: 'i' event needs a scope s of t/p/g")
+        args = event.get("args")
+        if not isinstance(args, dict):
+            problems.append(f"{where}: args must be an object")
+        else:
+            for key, value in args.items():
+                if not isinstance(key, str) or not _scalar(value):
+                    problems.append(f"{where}: args[{key!r}] must be a JSON scalar")
+    return problems
+
+
+# Honour REPRO_TRACE at import time so any entry point (pytest, the CLI,
+# a benchmark) starts traced when the environment asks for it.
+configure_from_env()

@@ -63,11 +63,19 @@ class WorkloadRunner:
         clock: SimClock,
         n_threads: int = 1,
         per_op_interval: float = 1.0 / 5000.0,
+        hub=None,
     ) -> None:
         """``per_op_interval`` is the simulated service time of one operation
         on one client thread (default 200µs, a plausible per-thread closed-
         loop latency; only the *relative* op rate across thread counts
-        affects results)."""
+        affects results).
+
+        ``hub`` is an optional :class:`repro.obs.metrics.MetricsHub`: when
+        set, every operation's modelled latency is recorded and cumulative
+        traffic/device counters are sampled once per round for the windowed
+        WA series.  The hub only *observes* engine and device counters — it
+        never touches the device or the clock, so running with a hub leaves
+        all measured results bit-identical."""
         if n_threads < 1:
             raise ValueError("need at least one client thread")
         self.engine = engine
@@ -75,6 +83,7 @@ class WorkloadRunner:
         self.clock = clock
         self.n_threads = n_threads
         self.per_op_interval = per_op_interval
+        self.hub = hub
 
     # ------------------------------------------------------------- phases
 
@@ -141,10 +150,18 @@ class WorkloadRunner:
         traffic_before = self.engine.traffic_snapshot()
         device_before = self.device.stats.snapshot()
         clock_before = self.clock.now
+        hub = self.hub
+        if hub is not None:
+            hub.sample(clock_before, traffic_before, self.device.stats)
         in_round = 0
         for _ in range(n_ops):
             op = next(ops)
-            self._apply(op, stats)
+            if hub is None:
+                self._apply(op, stats)
+            else:
+                op_before = self.device.stats.snapshot()
+                self._apply(op, stats)
+                hub.record_op(op.kind.value, self.device.stats.delta(op_before))
             stats.ops += 1
             in_round += 1
             if in_round >= self.n_threads:
@@ -154,10 +171,16 @@ class WorkloadRunner:
                 self.clock.advance(self.per_op_interval)
                 self.engine.tick()
                 in_round = 0
+                if hub is not None:
+                    hub.sample(self.clock.now, self.engine.traffic_snapshot(),
+                               self.device.stats)
         if in_round:
             self.engine.commit()
             self.clock.advance(self.per_op_interval)
             self.engine.tick()
+        if hub is not None:
+            hub.sample(self.clock.now, self.engine.traffic_snapshot(),
+                       self.device.stats)
         stats.elapsed_seconds = self.clock.now - clock_before
         stats.traffic = self.engine.traffic_snapshot().delta(traffic_before)
         stats.device = self.device.stats.delta(device_before)

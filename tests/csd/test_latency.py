@@ -97,3 +97,59 @@ def test_host_cost_model_defaults():
     host = HostCostModel()
     assert host.op_base > 0
     assert host.cpu_cores == 24
+
+
+def test_host_costs_all_positive():
+    host = HostCostModel()
+    for cost in (host.per_record_scan, host.page_reconstruct_per_kb,
+                 host.bloom_probe, host.memtable_probe, host.log_append):
+        assert cost > 0
+
+
+def test_sustained_iops_below_fresh_drive_spec():
+    """Steady-state write throughput must be bound by the sustained figure,
+    not the fresh-drive spec sheet number."""
+    model = DeviceLatencyModel()
+    assert model.sustained_write_iops < model.write_iops
+    many_small = DeviceStats(write_ios=100_000, logical_bytes_written=100_000)
+    assert model.write_busy_time(many_small) == pytest.approx(
+        100_000 / model.sustained_write_iops)
+
+
+def test_write_busy_time_takes_slowest_limit():
+    """Interface, IOPS and flash limits race; the max rules (plus fsync)."""
+    model = DeviceLatencyModel()
+    stats = DeviceStats(
+        logical_bytes_written=1 << 30,
+        physical_bytes_written=1 << 26,
+        write_ios=10,
+        flush_ios=8,
+    )
+    interface = stats.logical_bytes_written / model.interface_bandwidth
+    fsync = 8 * model.flush_latency / model.flush_parallelism
+    assert model.write_busy_time(stats) == pytest.approx(interface + fsync)
+
+
+def test_read_busy_time_zero_for_no_reads():
+    model = DeviceLatencyModel()
+    write_only = DeviceStats(logical_bytes_written=1 << 20, write_ios=5)
+    assert model.read_busy_time(write_only) == 0.0
+    assert model.busy_time(write_only) == model.write_busy_time(write_only)
+
+
+def test_read_request_latency_minimum_one_block():
+    """Even a tiny read pays one flash access plus one block's decompression."""
+    model = DeviceLatencyModel()
+    tiny = model.read_request_latency(1)
+    assert tiny >= model.flash_read_latency + model.compression_latency
+    assert model.read_request_latency(0) == pytest.approx(
+        model.flash_read_latency + model.compression_latency)
+
+
+def test_busy_time_monotone_in_traffic():
+    model = DeviceLatencyModel()
+    small = DeviceStats(logical_bytes_written=1 << 20,
+                        physical_bytes_written=1 << 20, write_ios=10)
+    bigger = DeviceStats(logical_bytes_written=1 << 24,
+                         physical_bytes_written=1 << 24, write_ios=1000)
+    assert model.busy_time(bigger) > model.busy_time(small)

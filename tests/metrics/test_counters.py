@@ -55,3 +55,60 @@ def test_compute_wa_no_user_bytes():
 def test_str_formatting():
     text = str(compute_wa(snapshot()))
     assert "WA=3.60" in text
+
+
+def test_delta_covers_every_field():
+    """delta() must subtract every dataclass field — including fields added
+    later (operations), so the windowed WA series never silently drops one."""
+    early = snapshot(operations=10)
+    late = snapshot(operations=25, extra_logical=4400, user_bytes=1600)
+    delta = late.delta(early)
+    assert delta.operations == 15
+    assert delta.extra_logical == 400
+    assert delta.user_bytes == 600
+    # Unchanged fields are exactly zero.
+    assert delta.log_logical == delta.page_logical == delta.log_physical == 0
+
+
+def test_delta_leaves_operands_untouched():
+    early = snapshot()
+    late = snapshot(user_bytes=2000)
+    late.delta(early)
+    assert early.user_bytes == 1000 and late.user_bytes == 2000
+
+
+def test_deltas_compose_exactly():
+    """(c-b) + (b-a) == (c-a) field by field — the invariant that makes the
+    per-window series sum to end-of-run totals."""
+    a = snapshot()
+    b = snapshot(user_bytes=1700, page_physical=3600)
+    c = snapshot(user_bytes=2400, page_physical=4100, log_physical=900)
+    ab, bc, ac = b.delta(a), c.delta(b), c.delta(a)
+    recombined = TrafficSnapshot(
+        **{f: getattr(ab, f) + getattr(bc, f)
+           for f in ("user_bytes", "log_logical", "log_physical",
+                     "page_logical", "page_physical", "extra_logical",
+                     "extra_physical", "operations")})
+    assert recombined == ac
+
+
+def test_compute_wa_decomposition_sums_for_arbitrary_traffic():
+    snap = snapshot(log_physical=123, page_physical=456, extra_physical=789)
+    report = compute_wa(snap)
+    assert report.wa_total == pytest.approx(report.wa_log + report.wa_pg + report.wa_e)
+    assert report.wa_total_logical == pytest.approx(
+        report.wa_log_logical + report.wa_pg_logical + report.wa_e_logical)
+
+
+def test_compute_wa_on_delta_matches_manual_ratio():
+    early = snapshot()
+    late = snapshot(user_bytes=3000, page_physical=9000)
+    report = compute_wa(late.delta(early))
+    assert report.user_bytes == 2000
+    assert report.wa_pg == pytest.approx(6000 / 2000)
+
+
+def test_wa_report_zero_traffic_all_zero():
+    report = compute_wa(TrafficSnapshot(log_physical=500))  # no user bytes
+    assert report.wa_total == report.wa_log == 0.0
+    assert report.user_bytes == 0

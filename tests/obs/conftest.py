@@ -1,0 +1,18 @@
+"""Shared fixtures for the observability test suite."""
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    """Never leak the process-global tracer between tests.
+
+    The tracer is deliberately global (that is what makes the hook points a
+    single attribute test), so every test in this package gets a guaranteed
+    uninstall after it runs, pass or fail.
+    """
+    trace.uninstall_tracer()
+    yield
+    trace.uninstall_tracer()

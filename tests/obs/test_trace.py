@@ -1,0 +1,295 @@
+"""Tests for the structured event tracer and its hook points."""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.core.bminus import BMinusConfig, BMinusTree
+from repro.csd.compression import NullCompressor
+from repro.csd.device import BLOCK_SIZE, CompressedBlockDevice
+from repro.metrics.faults import FaultStats
+from repro.obs.trace import (
+    DEFAULT_CAPACITY,
+    Tracer,
+    configure_from_env,
+    install_tracer,
+    maybe_instant,
+    maybe_span,
+    tracing_enabled,
+    uninstall_tracer,
+    validate_chrome_trace,
+)
+from repro.sim.clock import SimClock
+
+GOLDEN = pathlib.Path(__file__).resolve().parents[1] / "golden" / "trace_small.json"
+
+
+# ------------------------------------------------------------------- tracer
+
+
+def test_instants_spans_and_counters_are_recorded():
+    tracer = Tracer()
+    tracer.instant("hello", "cat", a=1)
+    with tracer.span("work", "cat", b=2) as args:
+        tracer.instant("inside", "cat")
+        args["extra"] = "late"
+    tracer.counter("gauge", "cat", value=7)
+    names = [event.name for event in tracer.events]
+    # The span is appended at exit, after the instant it contains.
+    assert names == ["hello", "inside", "work", "gauge"]
+    span = tracer.events[2]
+    assert span.ph == "X"
+    assert span.args == {"b": 2, "extra": "late"}
+    assert span.dur > 0
+    assert tracer.emitted == 4 and tracer.dropped == 0
+
+
+def test_timestamps_strictly_monotone_without_clock():
+    tracer = Tracer()
+    for i in range(10):
+        tracer.instant(f"e{i}")
+    stamps = [event.ts for event in tracer.events]
+    assert stamps == sorted(stamps)
+    assert len(set(stamps)) == len(stamps)
+
+
+def test_timestamps_follow_attached_clock():
+    tracer = Tracer()
+    clock = SimClock()
+    tracer.attach_clock(clock)
+    tracer.instant("before")
+    clock.advance(1.5)
+    tracer.instant("after")
+    before, after = tracer.events
+    assert after.ts - before.ts == pytest.approx(1.5e6, rel=1e-9)
+
+
+def test_span_ts_is_entry_time_and_covers_children():
+    tracer = Tracer()
+    clock = SimClock()
+    tracer.attach_clock(clock)
+    with tracer.span("outer"):
+        clock.advance(0.25)
+        tracer.instant("child")
+    child, outer = tracer.events
+    assert outer.ts < child.ts < outer.ts + outer.dur
+
+
+def test_ring_buffer_drops_oldest():
+    tracer = Tracer(capacity=4)
+    for i in range(10):
+        tracer.instant(f"e{i}")
+    assert [event.name for event in tracer.events] == ["e6", "e7", "e8", "e9"]
+    assert tracer.emitted == 10
+    assert tracer.dropped == 6
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_export_chrome_validates_and_round_trips(tmp_path):
+    tracer = Tracer()
+    tracer.instant("i", "c", k="v")
+    with tracer.span("s", "c", n=1):
+        pass
+    tracer.counter("g", "c", v=3.5)
+    doc = tracer.to_chrome()
+    assert validate_chrome_trace(doc) == []
+    path = tmp_path / "trace.json"
+    tracer.export_chrome(str(path))
+    assert json.loads(path.read_text()) == json.loads(json.dumps(doc))
+    assert doc["otherData"]["emitted"] == 3
+
+
+def test_validator_flags_bad_documents():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({}) != []
+    bad_events = [
+        {"cat": "c", "ph": "i", "ts": 0, "pid": 1, "tid": 1, "s": "t", "args": {}},
+        {"name": "n", "cat": "c", "ph": "Z", "ts": 0, "pid": 1, "tid": 1, "args": {}},
+        {"name": "n", "cat": "c", "ph": "i", "ts": -1, "pid": 1, "tid": 1, "s": "t",
+         "args": {}},
+        {"name": "n", "cat": "c", "ph": "X", "ts": 0, "pid": 1, "tid": 1, "args": {}},
+        {"name": "n", "cat": "c", "ph": "i", "ts": 0, "pid": 1, "tid": 1, "s": "t",
+         "args": {"k": [1, 2]}},
+        "not-an-object",
+    ]
+    for event in bad_events:
+        problems = validate_chrome_trace({"traceEvents": [event]})
+        assert problems, event
+
+
+def test_format_timeline_orders_and_limits():
+    tracer = Tracer()
+    with tracer.span("outer", "c"):
+        tracer.instant("child", "c", k=1)
+    text = tracer.format_timeline()
+    lines = text.splitlines()
+    assert lines[0].startswith("# 2 events emitted")
+    # Timeline is timestamp-ordered: the span's entry ts precedes the child.
+    assert "outer" in lines[1] and "child" in lines[2]
+    assert "k=1" in lines[2]
+    limited = tracer.format_timeline(limit=1)
+    assert "child" in limited and "outer" not in limited.splitlines()[1]
+
+
+# ----------------------------------------------------------- global install
+
+
+def test_install_uninstall_cycle():
+    assert not tracing_enabled()
+    tracer = install_tracer(capacity=16)
+    assert tracing_enabled()
+    assert uninstall_tracer() is tracer
+    assert not tracing_enabled()
+    assert uninstall_tracer() is None
+
+
+def test_maybe_helpers_are_noops_when_disabled():
+    maybe_instant("nothing", "c", k=1)
+    with maybe_span("nothing", "c") as args:
+        assert args is None
+    assert not tracing_enabled()
+
+
+def test_maybe_helpers_record_when_enabled():
+    tracer = install_tracer()
+    maybe_instant("i", "c", k=1)
+    with maybe_span("s", "c") as args:
+        args["late"] = True
+    assert [event.name for event in tracer.events] == ["i", "s"]
+    assert tracer.events[1].args == {"late": True}
+
+
+@pytest.mark.parametrize("raw", ["", "0", "off", "false", "no"])
+def test_configure_from_env_disabled(monkeypatch, raw):
+    monkeypatch.setenv("REPRO_TRACE", raw)
+    assert configure_from_env() is None
+    assert not tracing_enabled()
+
+
+@pytest.mark.parametrize("raw", ["1", "on", "true", "yes"])
+def test_configure_from_env_enabled(monkeypatch, raw):
+    monkeypatch.setenv("REPRO_TRACE", raw)
+    tracer = configure_from_env()
+    assert tracer is not None
+    assert tracer.capacity == DEFAULT_CAPACITY
+
+
+def test_configure_from_env_capacity(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", "1234")
+    assert configure_from_env().capacity == 1234
+
+
+def test_configure_from_env_rejects_garbage(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", "sometimes")
+    with pytest.raises(ValueError):
+        configure_from_env()
+
+
+# ------------------------------------------------------------- hook points
+
+
+def test_device_hooks_emit_events():
+    tracer = install_tracer()
+    device = CompressedBlockDevice(num_blocks=64)
+    device.write_block(3, bytes(BLOCK_SIZE))
+    device.flush()
+    device.read_block(3)
+    device.trim(3)
+    names = [event.name for event in tracer.events]
+    assert names == ["dev.write", "dev.flush", "dev.read", "dev.trim"]
+    write = tracer.events[0]
+    assert write.cat == "csd"
+    assert write.args["lba"] == 3 and write.args["blocks"] == 1
+
+
+def test_device_hooks_silent_when_disabled():
+    device = CompressedBlockDevice(num_blocks=64)
+    device.write_block(1, bytes(BLOCK_SIZE))
+    device.flush()
+    assert not tracing_enabled()
+
+
+def test_engine_run_emits_pager_and_wal_events():
+    tracer = install_tracer()
+    device = CompressedBlockDevice(num_blocks=4096)
+    tree = BMinusTree(device, BMinusConfig(
+        cache_bytes=1 << 16, max_pages=256, log_blocks=64,
+        log_flush_policy="commit"))
+    for i in range(60):
+        tree.put(i.to_bytes(8, "big"), bytes([i % 251]) * 48)
+        tree.commit()
+    names = {event.name for event in tracer.events}
+    assert "wal.flush" in names
+    assert "dev.write" in names
+    assert names & {"pager.delta_flush", "pager.full_flush", "pager.shadow_flip"}
+
+
+def test_fault_stats_hook():
+    tracer = install_tracer()
+    stats = FaultStats()  # __init__ assignments must stay silent
+    assert tracer.emitted == 0
+    stats.checksum_failures += 1
+    stats.read_repairs += 2
+    assert [event.name for event in tracer.events] == [
+        "fault.checksum_failures", "fault.read_repairs"]
+    assert tracer.events[1].args == {"delta": 2, "total": 2}
+    merged = stats + FaultStats(read_repairs=1)  # __add__ builds silently
+    assert merged.read_repairs == 3
+    assert tracer.emitted == 2
+
+
+def test_fault_stats_without_tracer_is_plain():
+    stats = FaultStats()
+    stats.wal_truncations += 1
+    assert stats.wal_truncations == 1
+
+
+# ------------------------------------------------------------- golden file
+
+
+def _small_traced_run() -> dict:
+    """A tiny fully deterministic traced run (NullCompressor: no zlib in the
+    event stream, so the golden bytes are stable across Python versions)."""
+    tracer = install_tracer(capacity=4096)
+    clock = SimClock()
+    tracer.attach_clock(clock)
+    device = CompressedBlockDevice(num_blocks=2048, compressor=NullCompressor())
+    tree = BMinusTree(device, BMinusConfig(
+        cache_bytes=1 << 15, max_pages=128, log_blocks=32,
+        log_flush_policy="commit"))
+    for i in range(25):
+        tree.put(i.to_bytes(8, "big"), bytes([i % 13 + 1]) * 40)
+        tree.commit()
+        clock.advance(0.001)
+    tree.delete((7).to_bytes(8, "big"))
+    tree.commit()
+    doc = tracer.to_chrome()
+    uninstall_tracer()
+    return doc
+
+
+def test_golden_chrome_trace():
+    """The traced-run export must match the committed golden file exactly.
+
+    Regenerate (after an intentional schema or hook change) with::
+
+        REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \\
+            tests/obs/test_trace.py::test_golden_chrome_trace
+    """
+    doc = _small_traced_run()
+    assert validate_chrome_trace(doc) == []
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    golden = json.loads(GOLDEN.read_text())
+    assert json.loads(json.dumps(doc)) == golden
+
+
+def test_golden_run_is_deterministic():
+    assert _small_traced_run() == _small_traced_run()

@@ -1,12 +1,19 @@
 """Tests for the ad-hoc CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.trace import tracing_enabled, validate_chrome_trace
 
 
 def small(*extra):
     return list(extra) + ["--records", "3000", "--steady-ops", "2000"]
+
+
+def tiny(*extra):
+    return list(extra) + ["--records", "1500", "--steady-ops", "800"]
 
 
 def test_parser_requires_command():
@@ -54,3 +61,85 @@ def test_run_with_zipf_distribution(capsys):
                "--theta", "0.9"] + small())
     assert rc == 0
     assert "Write amplification" in capsys.readouterr().out
+
+
+# ------------------------------------------------------------ repro trace
+
+
+def test_trace_command_exports_valid_chrome_json(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(tiny("trace", "--out", str(out))) == 0
+    doc = json.loads(out.read_text())
+    assert validate_chrome_trace(doc) == []
+    assert doc["traceEvents"], "expected a non-empty trace"
+    assert doc["otherData"]["emitted"] > 0
+    assert "Write amplification" in capsys.readouterr().out
+    # The command must uninstall the process-global tracer on the way out.
+    assert not tracing_enabled()
+
+
+def test_trace_command_text_timeline(capsys):
+    assert main(tiny("trace", "--out", "-", "--limit", "10")) == 0
+    out = capsys.readouterr().out
+    assert "events emitted" in out
+    assert not tracing_enabled()
+
+
+def test_trace_command_unwritable_path_exits_nonzero(capsys):
+    rc = main(tiny("trace", "--out", "/nonexistent-dir/trace.json"))
+    assert rc == 1
+    assert "repro: error" in capsys.readouterr().err
+    assert not tracing_enabled()
+
+
+# ------------------------------------------------------------ repro stats
+
+
+def test_stats_command_tables(capsys):
+    assert main(tiny("stats", "--window", "0.1")) == 0
+    out = capsys.readouterr().out
+    assert "Simulated per-op latency" in out
+    assert "WA over time" in out
+    assert "put" in out
+
+
+def test_stats_watch_streams_windows(capsys):
+    assert main(tiny("stats", "--window", "0.05", "--watch")) == 0
+    out = capsys.readouterr().out
+    assert out.count("WA=") >= 2  # at least two windows streamed live
+
+
+def test_stats_json_export(tmp_path, capsys):
+    path = tmp_path / "hub.json"
+    assert main(tiny("stats", "--window", "0.1", "--json", str(path))) == 0
+    data = json.loads(path.read_text())
+    assert "op_latency" in data and "series" in data
+    assert data["series"]["windows"]
+
+
+def test_stats_zipf_distribution(capsys):
+    rc = main(tiny("stats", "--window", "0.1", "--distribution", "zipf"))
+    assert rc == 0
+    assert "WA over time" in capsys.readouterr().out
+
+
+def test_stats_json_unwritable_path_exits_nonzero(capsys):
+    rc = main(tiny("stats", "--json", "/nonexistent-dir/hub.json"))
+    assert rc == 1
+    assert "repro: error" in capsys.readouterr().err
+
+
+# -------------------------------------------------------------- exit codes
+
+
+def test_bench_check_missing_baseline_exits_nonzero(capsys):
+    rc = main(["bench", "--check", "--baseline", "/nonexistent/baseline.json"])
+    assert rc == 1
+    assert "repro: error" in capsys.readouterr().err
+
+
+def test_config_error_exits_nonzero(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+    rc = main(small("compare", "--systems", "bminus"))
+    assert rc == 1
+    assert "REPRO_JOBS" in capsys.readouterr().err
