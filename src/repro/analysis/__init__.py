@@ -1,0 +1,51 @@
+"""Static enforcement of the reproduction's source-level invariants.
+
+The headline claim of this repository — WA/IOPS numbers bit-identical across
+fast-path, fault-injected, and traced runs — rests on contracts that
+differential tests can only probe after the fact:
+
+* all randomness flows through :mod:`repro.sim.rng` and all timestamps
+  through :mod:`repro.sim.clock` (determinism);
+* all device bytes move through the sanctioned :mod:`repro.csd.device`
+  write path (I/O discipline);
+* every healed fault increments a :class:`repro.metrics.faults.FaultStats`
+  counter (fault-path accounting);
+* observability hook points stay behind a single ``is None`` test
+  (zero-overhead tracing).
+
+This package checks those contracts at the *source* level with a small
+plugin-style AST analysis framework (see :mod:`repro.analysis.framework`)
+and one checker module per rule under :mod:`repro.analysis.rules`.  The
+``repro lint`` CLI subcommand and the CI ``lint`` job run them over the
+tree; DESIGN.md §12 documents the paper-level invariant behind each rule.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.framework import (
+    Finding,
+    Rule,
+    all_rules,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    findings_to_json,
+    format_findings,
+    get_rule,
+    register,
+    rule_ids,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "findings_to_json",
+    "format_findings",
+    "get_rule",
+    "register",
+    "rule_ids",
+]

@@ -1,0 +1,19 @@
+"""Rule plugins.  Importing this package registers every checker.
+
+Each module holds one rule; adding a checker is: create a module here,
+subclass :class:`repro.analysis.framework.Rule`, decorate it with
+:func:`repro.analysis.framework.register`, and import it below.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401  (imported for registration)
+    det001,
+    exc004,
+    flt003,
+    iod002,
+    par005,
+    trc006,
+)
+
+__all__ = ["det001", "exc004", "flt003", "iod002", "par005", "trc006"]

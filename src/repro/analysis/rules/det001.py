@@ -1,0 +1,261 @@
+"""DET001 — determinism: no ambient randomness, wall clocks, or set iteration.
+
+Scope: the simulation core (``core/``, ``csd/``, ``btree/``, ``lsm/``).
+
+The reproduction's figures are only meaningful because a seeded run is
+bit-identical across machines, fast-path variants, fault campaigns, and
+traced runs.  Three ambient-nondeterminism sources would silently break
+that:
+
+* the :mod:`random` module's *global* generator (shared state — the stream
+  depends on unrelated consumers) and ``os.urandom`` — all randomness must
+  come from :class:`repro.sim.rng.DeterministicRng` or an explicitly seeded
+  ``random.Random(seed)`` instance;
+* wall-clock reads (``time.time``, ``datetime.now()``, ...) — all time is
+  simulated on :class:`repro.sim.clock.SimClock`;
+* iteration over an unordered ``set``/``frozenset`` — CPython's set order
+  depends on hash seeding and insertion history; iterate ``sorted(s)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+from repro.analysis.rules._common import dotted_name
+
+#: ``time`` module members whose value depends on the host wall clock.
+WALL_CLOCK_FNS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "sleep",
+    }
+)
+
+#: ``datetime``/``date`` constructors that sample the host clock.
+DATETIME_NOW_FNS = frozenset({"now", "utcnow", "today"})
+
+#: The only :mod:`random` attribute the simulation core may touch: an
+#: explicitly seeded instance is deterministic; everything else either uses
+#: the hidden module-global generator or (``SystemRandom``) the OS entropy
+#: pool.
+ALLOWED_RANDOM_ATTRS = frozenset({"Random"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _is_set_annotation(node: ast.AST) -> bool:
+    target = node.value if isinstance(node, ast.Subscript) else node
+    if isinstance(target, ast.Name):
+        return target.id in ("set", "frozenset", "Set", "FrozenSet")
+    if isinstance(target, ast.Attribute):
+        return target.attr in ("Set", "FrozenSet")
+    return False
+
+
+def _set_bindings(ctx: FileContext) -> "tuple[Set[str], dict]":
+    """Set-valued bindings in this file, tracked per scope.
+
+    Returns ``(attr_sets, local_sets)``: ``self.x`` attributes ever bound to
+    a set value or annotation (file-wide — attribute namespaces span
+    methods), and plain names bound to sets keyed by their enclosing
+    function node (``None`` for module level), so a set-valued local in one
+    method never taints a same-named list field elsewhere.
+    """
+    attr_sets: Set[str] = set()
+    local_sets: dict = {}
+
+    def bind(target: ast.AST, scope) -> None:
+        if isinstance(target, ast.Name):
+            local_sets.setdefault(scope, set()).add(target.id)
+        elif isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+            if target.value.id == "self":
+                attr_sets.add(target.attr)
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+            scope = ctx.enclosing_function(node)
+            for target in node.targets:
+                bind(target, scope)
+        elif isinstance(node, ast.AnnAssign) and _is_set_annotation(node.annotation):
+            bind(node.target, ctx.enclosing_function(node))
+    return attr_sets, local_sets
+
+
+#: Builtins that consume an iterable without exposing its order: feeding a
+#: set into these cannot leak nondeterministic ordering into results.
+ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "sum", "min", "max", "len", "any", "all", "set", "frozenset"}
+)
+
+
+def _iter_name(node: ast.AST) -> str:
+    """A display name for the iterated expression in a finding message."""
+    name = dotted_name(node)
+    if name is not None:
+        return name
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return f"{node.func.id}(...)"
+    return type(node).__name__
+
+
+@register
+class Determinism(Rule):
+    id = "DET001"
+    title = "ambient nondeterminism in the simulation core"
+    severity = "error"
+    invariant = (
+        "A seeded run is bit-identical everywhere: randomness flows through "
+        "sim/rng, time through sim/clock, and no result depends on set order."
+    )
+
+    SCOPE_SEGMENTS = ("core", "csd", "btree", "lsm")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.has_path_segment(*self.SCOPE_SEGMENTS)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+
+        # Module alias tables (handles `import random as rnd` etc.).
+        aliases = {"random": set(), "time": set(), "os": set(), "datetime": set()}
+        datetime_classes: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in aliases:
+                        aliases[alias.name].add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in ALLOWED_RANDOM_ATTRS:
+                            findings.append(self.make(
+                                ctx, node,
+                                f"`from random import {alias.name}` pulls in "
+                                f"module-global/OS randomness; use "
+                                f"repro.sim.rng.DeterministicRng",
+                            ))
+                elif node.module == "time":
+                    for alias in node.names:
+                        if alias.name in WALL_CLOCK_FNS:
+                            findings.append(self.make(
+                                ctx, node,
+                                f"`from time import {alias.name}` reads the host "
+                                f"wall clock; use repro.sim.clock.SimClock",
+                            ))
+                elif node.module == "os":
+                    for alias in node.names:
+                        if alias.name == "urandom":
+                            findings.append(self.make(
+                                ctx, node,
+                                "`from os import urandom` is OS entropy; use "
+                                "repro.sim.rng.DeterministicRng.random_bytes",
+                            ))
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            datetime_classes.add(alias.asname or alias.name)
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                owner, attr = node.value.id, node.attr
+                if owner in aliases["random"] and attr not in ALLOWED_RANDOM_ATTRS:
+                    findings.append(self.make(
+                        ctx, node,
+                        f"random.{attr} uses the module-global generator (shared, "
+                        f"order-dependent state); use repro.sim.rng",
+                    ))
+                elif owner in aliases["time"] and attr in WALL_CLOCK_FNS:
+                    findings.append(self.make(
+                        ctx, node,
+                        f"time.{attr} reads the host wall clock; advance a "
+                        f"repro.sim.clock.SimClock instead",
+                    ))
+                elif owner in aliases["os"] and attr == "urandom":
+                    findings.append(self.make(
+                        ctx, node,
+                        "os.urandom is OS entropy; use "
+                        "repro.sim.rng.DeterministicRng.random_bytes",
+                    ))
+            if isinstance(node, ast.Call) and not node.args and not node.keywords:
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in DATETIME_NOW_FNS:
+                    owner = func.value
+                    owner_is_dt = (
+                        isinstance(owner, ast.Name)
+                        and (owner.id in datetime_classes or owner.id in aliases["datetime"])
+                    ) or (
+                        isinstance(owner, ast.Attribute)
+                        and owner.attr in ("datetime", "date")
+                        and isinstance(owner.value, ast.Name)
+                        and owner.value.id in aliases["datetime"]
+                    )
+                    if owner_is_dt:
+                        findings.append(self.make(
+                            ctx, node,
+                            f"argless datetime {func.attr}() samples the host "
+                            f"clock; use repro.sim.clock.SimClock",
+                        ))
+
+        findings.extend(self._check_set_iteration(ctx))
+        return findings
+
+    def _check_set_iteration(self, ctx: FileContext) -> Iterable[Finding]:
+        attr_sets, local_sets = _set_bindings(ctx)
+
+        def is_set_iterable(node: ast.AST) -> bool:
+            if _is_set_expr(node):
+                return True
+            if isinstance(node, ast.Name):
+                scope = ctx.enclosing_function(node)
+                return (
+                    node.id in local_sets.get(scope, ())
+                    or node.id in local_sets.get(None, ())
+                )
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                return node.value.id == "self" and node.attr in attr_sets
+            return False
+
+        def order_leaks(consumer: ast.AST) -> bool:
+            """False when the consuming context cannot observe iteration order."""
+            if isinstance(consumer, ast.SetComp):
+                return False  # a set result has no order to leak
+            parent = ctx.parent_of(consumer)
+            return not (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in ORDER_INSENSITIVE_CONSUMERS
+            )
+
+        for node in ast.walk(ctx.tree):
+            iterables: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                if not order_leaks(node):
+                    continue
+                iterables.extend(gen.iter for gen in node.generators)
+            for iter_node in iterables:
+                if is_set_iterable(iter_node):
+                    yield self.make(
+                        ctx, iter_node,
+                        f"iteration over unordered set "
+                        f"`{_iter_name(iter_node)}`; iterate sorted(...) so "
+                        f"the order is deterministic",
+                    )

@@ -1,0 +1,69 @@
+"""EXC004 — exception hygiene: no silent broad swallows.
+
+Scope: ``src/repro`` outside the CLI boundary (``cli.py``, which is allowed
+to catch broadly to turn failures into exit codes).
+
+A ``try: ... except Exception: pass`` in storage-engine code converts
+corruption, accounting bugs, and logic errors alike into silence.  The
+hardening code legitimately probes images that are *expected* to be
+corrupt (arbitration, journal-ring scans) — those handlers either do
+observable work (count the fault, collect the slot for repair) or use the
+``try/except/else`` probe shape.  What this rule flags is the residue: a
+bare ``except:`` or an ``except Exception`` whose body neither raises, nor
+calls anything, nor increments a counter — a handler that can only hide
+bugs.  Deliberate expected-corruption skips carry an explanatory
+``# repro: noqa[EXC004]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+from repro.analysis.rules._common import exception_names, walk_body
+
+BROAD_NAMES = frozenset({"", "Exception", "BaseException"})
+
+
+def _does_observable_work(handler: ast.ExceptHandler) -> bool:
+    """True if the handler raises, calls, asserts, or mutates a counter."""
+    for node in walk_body(handler.body):
+        if isinstance(node, (ast.Raise, ast.Call, ast.AugAssign, ast.Assert)):
+            return True
+    return False
+
+
+@register
+class ExceptionHygiene(Rule):
+    id = "EXC004"
+    title = "broad exception handler silently swallows"
+    severity = "error"
+    invariant = (
+        "Storage-engine errors surface: broad handlers must re-raise, "
+        "account, or visibly act — never silently discard."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.parts[-1] != "cli.py"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                caught = exception_names(handler)
+                if not any(name in BROAD_NAMES for name in caught):
+                    continue
+                if node.orelse:
+                    # try/except/else probe: the except arm only redirects
+                    # control flow; success work is explicit in the else.
+                    continue
+                if _does_observable_work(handler):
+                    continue
+                label = "bare except:" if caught == ("",) else f"except {caught[0]}"
+                yield self.make(
+                    ctx, handler,
+                    f"{label} silently swallows; re-raise, account the fault, "
+                    f"narrow the type, or justify with `# repro: noqa[EXC004]`",
+                )

@@ -1,0 +1,87 @@
+"""FLT003 — fault-path accounting: every absorbed fault is counted.
+
+Scope: the whole tree.
+
+PR 2's self-healing contract is that *silent* recovery does not exist: a
+handler that absorbs a :class:`~repro.errors.TransientIOError` or
+:class:`~repro.errors.TornWriteError` must either re-raise (letting a
+higher layer account it) or bump a :class:`repro.metrics.faults.FaultStats`
+counter.  ``repro faultcheck`` and the observability layer both read those
+counters; a healing path that forgets the increment makes a fault-injected
+run look healthier than it was — accounting drift that no behavioural test
+can distinguish from a genuinely clean run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import fields as dataclass_fields
+from typing import Iterable
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+from repro.analysis.rules._common import exception_names, root_name, walk_body
+from repro.metrics.faults import FaultStats
+
+#: The transient fault family whose handlers must account or re-raise.
+TRANSIENT_EXCEPTIONS = frozenset({"TransientIOError", "TornWriteError"})
+
+#: Counter names, taken from the FaultStats dataclass itself so the rule
+#: tracks the schema without a hand-maintained list.
+FAULT_COUNTERS = frozenset(f.name for f in dataclass_fields(FaultStats))
+
+
+def _is_counter_increment(node: ast.AugAssign) -> bool:
+    target = node.target
+    if not isinstance(target, ast.Attribute):
+        return False
+    if target.attr in FAULT_COUNTERS:
+        return True
+    root = root_name(target)
+    return root is not None and "fault_stats" in root
+
+
+def _handler_accounts(handler: ast.ExceptHandler) -> bool:
+    for node in walk_body(handler.body):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.AugAssign) and _is_counter_increment(node):
+            return True
+        if isinstance(node, ast.Attribute) and "fault_stats" in (
+            root_name(node) or ""
+        ):
+            # e.g. delegating to a helper that takes the stats object.
+            return True
+        if isinstance(node, ast.Call):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                name = root_name(arg) if isinstance(arg, (ast.Name, ast.Attribute)) else None
+                if name is not None and "fault_stats" in name:
+                    return True
+    return False
+
+
+@register
+class FaultAccounting(Rule):
+    id = "FLT003"
+    title = "transient-fault handler without FaultStats accounting"
+    severity = "error"
+    invariant = (
+        "Every healed fault increments a FaultStats counter (or re-raises); "
+        "fault campaigns must see exactly what the device injected."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = [
+                name for name in exception_names(node) if name in TRANSIENT_EXCEPTIONS
+            ]
+            if not caught:
+                continue
+            if not _handler_accounts(node):
+                yield self.make(
+                    ctx, node,
+                    f"handler for {'/'.join(caught)} neither re-raises nor "
+                    f"increments a FaultStats counter; healed faults must be "
+                    f"accounted (see repro.metrics.faults)",
+                )

@@ -1,0 +1,189 @@
+"""PAR005 — parallel safety: worker functions never mutate module state.
+
+Scope: the whole tree.
+
+``bench/parallel`` fans experiment points across a ``ProcessPoolExecutor``
+and promises results bit-identical to a serial run.  That only holds if a
+worker function is a pure function of its arguments: mutating module-level
+state (caches, accumulators, ``global`` rebinding) works by accident in a
+forked worker — each process sees its own copy — and then silently
+diverges from the serial path, or breaks under a spawn start method.
+
+The rule resolves, within one file, the functions submitted to a pool
+(``pool.submit(f, ...)`` / ``pool.map(f, ...)`` where the pool was built
+from ``ProcessPoolExecutor``) or passed as a ``runner`` to
+:func:`repro.bench.parallel.run_specs` / ``run_grid``, and flags any
+mutation of a module-level name inside them: ``global`` declarations,
+subscript/attribute stores, and calls of mutating container methods.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+from repro.analysis.rules._common import root_name, walk_body
+
+#: Container methods that mutate their receiver.
+MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "pop", "popitem",
+        "remove", "discard", "clear", "setdefault", "sort", "appendleft",
+        "extendleft",
+    }
+)
+
+#: Same-file entry points that take a worker callable.
+POOL_DISPATCHERS = frozenset({"run_specs", "run_grid"})
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in tree.body:
+        targets: List[ast.AST] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Tuple):
+                names.update(e.id for e in target.elts if isinstance(e, ast.Name))
+    return names
+
+
+def _pool_names(tree: ast.Module) -> Set[str]:
+    """Names bound to ProcessPoolExecutor instances (assign or with-item)."""
+
+    def is_pool_call(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        return name == "ProcessPoolExecutor"
+
+    pools: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and is_pool_call(node.value):
+            pools.update(t.id for t in node.targets if isinstance(t, ast.Name))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if is_pool_call(item.context_expr) and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    pools.add(item.optional_vars.id)
+    return pools
+
+
+def _worker_names(tree: ast.Module, pools: Set[str]) -> Set[str]:
+    """Function names submitted to a pool or passed as a runner."""
+    workers: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("submit", "map")
+            and isinstance(func.value, ast.Name)
+            and func.value.id in pools
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+        ):
+            workers.add(node.args[0].id)
+        dispatcher = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        if dispatcher in POOL_DISPATCHERS:
+            for arg in node.args[1:2]:
+                if isinstance(arg, ast.Name):
+                    workers.add(arg.id)
+            for kw in node.keywords:
+                if kw.arg == "runner" and isinstance(kw.value, ast.Name):
+                    workers.add(kw.value.id)
+    return workers
+
+
+@register
+class ParallelSafety(Rule):
+    id = "PAR005"
+    title = "pool worker mutates module-level state"
+    severity = "error"
+    invariant = (
+        "Parallel figure runs are bit-identical to serial runs: a worker "
+        "process is a pure function of its submitted arguments."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        module_names = _module_level_names(ctx.tree)
+        pools = _pool_names(ctx.tree)
+        workers = _worker_names(ctx.tree, pools)
+        if not workers:
+            return
+        defs: Dict[str, ast.FunctionDef] = {
+            node.name: node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        for name in sorted(workers):
+            worker = defs.get(name)
+            if worker is None:
+                continue
+            yield from self._check_worker(ctx, worker, module_names)
+
+    def _check_worker(
+        self, ctx: FileContext, worker: ast.FunctionDef, module_names: Set[str]
+    ) -> Iterable[Finding]:
+        local_shadow = {
+            arg.arg
+            for arg in (
+                worker.args.posonlyargs + worker.args.args + worker.args.kwonlyargs
+            )
+        }
+        declared_global: Set[str] = set()
+        for node in walk_body(worker.body):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+                yield self.make(
+                    ctx, node,
+                    f"worker `{worker.name}` declares global "
+                    f"{', '.join(node.names)}; workers must not rebind module "
+                    f"state (lost in forked processes, diverges from serial runs)",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        root = root_name(target)
+                        if root in module_names and root not in local_shadow:
+                            yield self.make(
+                                ctx, target,
+                                f"worker `{worker.name}` mutates module-level "
+                                f"`{root}`; pass state through arguments and "
+                                f"return values instead",
+                            )
+                    elif (
+                        isinstance(target, ast.Name)
+                        and target.id in declared_global
+                    ):
+                        yield self.make(
+                            ctx, target,
+                            f"worker `{worker.name}` rebinds global "
+                            f"`{target.id}`; the write is invisible outside "
+                            f"the worker process",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATOR_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in module_names
+                    and func.value.id not in local_shadow
+                ):
+                    yield self.make(
+                        ctx, node,
+                        f"worker `{worker.name}` calls `{func.value.id}."
+                        f"{func.attr}(...)` on module-level state; workers "
+                        f"must be pure functions of their arguments",
+                    )

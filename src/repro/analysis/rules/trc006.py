@@ -1,0 +1,161 @@
+"""TRC006 — hook overhead: tracer hooks stay behind one ``is None`` test.
+
+Scope: everywhere outside ``obs/`` (the tracer implementation calls its own
+methods freely).
+
+PR 3's guarantee is that with tracing off, a hook point costs exactly one
+attribute read plus one identity test — that is why traced and untraced
+runs are bit-identical and why hooks may sit on the device write path.
+Two source shapes uphold it:
+
+* the wrappers ``maybe_instant(...)`` / ``maybe_span(...)``, or
+* fetch-once-and-guard::
+
+      tracer = _trace.TRACER
+      if tracer is not None:
+          tracer.instant("dev.write", ...)
+
+This rule flags direct ``*.instant(...)`` / ``*.span(...)`` calls on the
+global tracer (or a local bound to it) that are not dominated by an
+``is None`` identity guard on that same receiver, and guards that use
+truthiness (``if tracer:``) instead of the single identity test (truthiness
+invokes ``__bool__`` machinery and breaks the stated cost model).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+from repro.analysis.rules._common import dotted_name, same_expr
+
+#: The event-emission API: the hook points the overhead guarantee covers.
+HOOK_METHODS = frozenset({"instant", "span"})
+
+
+def _is_tracer_source(node: ast.AST) -> bool:
+    """``TRACER`` or ``<module>.TRACER`` — the process-global tracer slot."""
+    if isinstance(node, ast.Name):
+        return node.id == "TRACER"
+    return isinstance(node, ast.Attribute) and node.attr == "TRACER"
+
+
+def _guard_tests(test: ast.AST) -> List[ast.Compare]:
+    """Flatten an ``and``-chain into its comparison members."""
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        out: List[ast.Compare] = []
+        for value in test.values:
+            out.extend(_guard_tests(value))
+        return out
+    return [test] if isinstance(test, ast.Compare) else []
+
+
+def _compare_matches(compare: ast.Compare, receiver: ast.AST, negated: bool) -> bool:
+    """Does ``compare`` assert ``receiver is not None`` (or ``is None``)?"""
+    if len(compare.ops) != 1 or len(compare.comparators) != 1:
+        return False
+    op = compare.ops[0]
+    comparator = compare.comparators[0]
+    if not (isinstance(comparator, ast.Constant) and comparator.value is None):
+        return False
+    wanted = ast.Is if negated else ast.IsNot
+    return isinstance(op, wanted) and same_expr(compare.left, receiver)
+
+
+@register
+class HookOverhead(Rule):
+    id = "TRC006"
+    title = "tracer hook not guarded by a single `is None` test"
+    severity = "error"
+    invariant = (
+        "Tracing off costs one attribute read + one identity test per hook, "
+        "so traced and untraced runs stay bit-identical."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.has_path_segment("obs")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        tracer_locals = self._tracer_locals(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr in HOOK_METHODS):
+                continue
+            receiver = func.value
+            if not self._is_tracer_expr(receiver, tracer_locals):
+                continue
+            problem = self._guard_problem(ctx, node, receiver, func.attr)
+            if problem is not None:
+                yield self.make(ctx, node, problem)
+
+    # ------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _tracer_locals(ctx: FileContext) -> Set[str]:
+        """Local names assigned from the global tracer slot."""
+        names: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and _is_tracer_source(node.value):
+                names.update(
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                )
+        return names
+
+    @staticmethod
+    def _is_tracer_expr(node: ast.AST, tracer_locals: Set[str]) -> bool:
+        if _is_tracer_source(node):
+            return True
+        return isinstance(node, ast.Name) and node.id in tracer_locals
+
+    def _guard_problem(
+        self, ctx: FileContext, call: ast.Call, receiver: ast.AST, method: str
+    ) -> Optional[str]:
+        """None if the call is properly guarded, else the finding message."""
+        truthiness_guard = False
+        child: ast.AST = call
+        for ancestor in ctx.ancestors(call):
+            if isinstance(ancestor, ast.If):
+                in_body = self._contains(ancestor.body, child)
+                compares = _guard_tests(ancestor.test)
+                if in_body and any(
+                    _compare_matches(c, receiver, negated=False) for c in compares
+                ):
+                    return None
+                if not in_body and any(
+                    _compare_matches(c, receiver, negated=True) for c in compares
+                ):
+                    return None  # `if tracer is None: ... else: tracer.instant(...)`
+                if in_body and same_expr(ancestor.test, receiver):
+                    truthiness_guard = True
+            elif isinstance(ancestor, ast.IfExp):
+                compares = _guard_tests(ancestor.test)
+                if child is ancestor.body and any(
+                    _compare_matches(c, receiver, negated=False) for c in compares
+                ):
+                    return None
+            elif isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+            child = ancestor
+        name = dotted_name(receiver) or "tracer"
+        if truthiness_guard:
+            return (
+                f"hook guard on `{name}` uses truthiness; the overhead "
+                f"contract requires the single identity test "
+                f"`if {name} is not None:`"
+            )
+        return (
+            f"unguarded tracer hook `{name}.{method}(...)`; fetch TRACER "
+            f"once and guard with `is not None`, or use "
+            f"maybe_instant/maybe_span"
+        )
+
+    @staticmethod
+    def _contains(stmts: List[ast.stmt], node: ast.AST) -> bool:
+        return any(node is stmt for stmt in stmts) or any(
+            node is descendant
+            for stmt in stmts
+            for descendant in ast.walk(stmt)
+        )

@@ -38,7 +38,7 @@ import pathlib
 import platform
 import sys
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from repro.bench.harness import ExperimentSpec, run_wa_experiment
 from repro.bench.parallel import run_specs

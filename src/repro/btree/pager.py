@@ -283,7 +283,7 @@ class JournalPager(Pager):
             raw = self._read_blocks(self._journal_lba(index), self.page_blocks)
             try:
                 candidate = Page.from_bytes(raw)
-            except Exception:
+            except Exception:  # repro: noqa[EXC004] ring scan: stale/torn entries are expected
                 continue
             if candidate.page_id != page_id:
                 continue
@@ -308,7 +308,7 @@ class JournalPager(Pager):
             image = self._read_blocks(self._journal_lba(index), self.page_blocks)
             try:
                 journal_page = Page.from_bytes(image)
-            except Exception:
+            except Exception:  # repro: noqa[EXC004] ring scan: stale/torn entries are expected
                 continue
             lba = self._page_lba(journal_page.page_id)
             current = self._read_blocks(lba, self.page_blocks)
@@ -316,8 +316,8 @@ class JournalPager(Pager):
                 live = Page.from_bytes(current)
                 if live.lsn >= journal_page.lsn:
                     continue
-            except Exception:
-                pass  # torn or stale in-place image: restore below
+            except Exception:  # repro: noqa[EXC004] torn image: healed below
+                pass
             self._write_blocks(lba, image)
             self.fault_stats.journal_repairs += 1
             repaired.append(journal_page.page_id)

@@ -300,6 +300,33 @@ def cmd_faultcheck(args: argparse.Namespace) -> int:
     return 0 if report["passed"] else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: the repo's invariant linter (see repro.analysis).
+
+    Runs the AST-based checkers — determinism (DET001), I/O discipline
+    (IOD002), fault-path accounting (FLT003), exception hygiene (EXC004),
+    parallel safety (PAR005), and hook overhead (TRC006) — over the given
+    files/directories (default ``src/repro``).  Exit code 0 means no
+    findings; 1 means at least one finding (including unused ``noqa``
+    suppressions, NQA000).  ``--json`` emits the machine-readable report
+    the CI ``lint`` job archives.
+    """
+    import json as _json
+
+    from repro.analysis import analyze_paths, findings_to_json, format_findings
+    from repro.analysis.framework import select_rules
+
+    rules = select_rules(args.rules)
+    paths = args.paths or ["src/repro"]
+    findings, files_scanned = analyze_paths(paths, rules)
+    if args.json:
+        print(_json.dumps(findings_to_json(findings, files_scanned),
+                          indent=2, sort_keys=True))
+    else:
+        print(format_findings(findings, files_scanned))
+    return 1 if findings else 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench``: run the perf-regression micro-benchmarks.
 
@@ -383,6 +410,17 @@ def build_parser() -> argparse.ArgumentParser:
     flt_p.add_argument("--json", action="store_true",
                        help="emit the full JSON report instead of a summary")
     flt_p.set_defaults(func=cmd_faultcheck)
+
+    lnt_p = sub.add_parser(
+        "lint", help="run the repo's AST invariant linter (repro.analysis)")
+    lnt_p.add_argument("paths", nargs="*", metavar="PATH",
+                       help="files or directories to lint (default: src/repro)")
+    lnt_p.add_argument("--json", action="store_true",
+                       help="emit the machine-readable findings report")
+    lnt_p.add_argument("--rules", default=None, metavar="IDS",
+                       help="comma-separated rule ids to run "
+                            "(e.g. DET001,TRC006; default: all)")
+    lnt_p.set_defaults(func=cmd_lint)
 
     spd_p = sub.add_parser("speed", help="estimate TPS for several systems")
     spd_p.add_argument("--systems", default="rocksdb,wiredtiger,bminus")

@@ -31,6 +31,7 @@ from repro.core.delta import DeltaShadowPager
 from repro.csd.device import BlockDevice
 from repro.errors import ConfigError
 from repro.metrics.counters import TrafficSnapshot, WaReport, compute_wa
+from repro.metrics.faults import FaultStats
 from repro.sim.clock import SimClock
 
 
@@ -149,7 +150,7 @@ class BMinusTree:
         return self.engine.clock
 
     @property
-    def fault_stats(self):
+    def fault_stats(self) -> FaultStats:
         """Merged fault detection/self-healing counters (see FaultStats)."""
         return self.engine.fault_stats
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from repro.btree.page import DIRTY_GRAIN, Page
 from repro.btree.pager import DeterministicShadowPager
@@ -129,10 +129,10 @@ class DeltaShadowPager(DeterministicShadowPager):
 
     def __init__(
         self,
-        *args,
+        *args: Any,
         threshold: int = 2048,
         segment_size: int = 128,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         super().__init__(*args, **kwargs)
         if segment_size <= 0 or segment_size % DIRTY_GRAIN != 0:

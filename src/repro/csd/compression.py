@@ -35,7 +35,11 @@ import hashlib
 import zlib
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from typing import Tuple
+from typing import Tuple, Union
+
+#: Anything the device layer may hand a compressor: the write paths pass
+#: ``bytes`` or zero-copy ``memoryview`` slices; tests may pass ``bytearray``.
+BytesLike = Union[bytes, bytearray, memoryview]
 
 #: Size of a compressed all-zero 4KB block, in bytes.  zlib reduces a 4KB zero
 #: block to ~20 bytes; the drive additionally keeps a tiny mapping entry.  We
@@ -66,7 +70,7 @@ SIZE_CACHE_PROBE_WINDOW = 2048
 SIZE_CACHE_MIN_HIT_RATE = 0.02
 
 
-def zero_tail_scan(block) -> Tuple[bytes, int]:
+def zero_tail_scan(block: BytesLike) -> Tuple[bytes, int]:
     """Locate the live (up-to-last-nonzero-byte) prefix of ``block``.
 
     Returns ``(block_bytes, live_len)`` where ``block_bytes`` is ``block``
@@ -76,16 +80,15 @@ def zero_tail_scan(block) -> Tuple[bytes, int]:
     all-zero short-circuit and the zero-tail fast path, so callers never scan
     the block twice.
     """
-    if not isinstance(block, (bytes, bytearray)):
-        block = bytes(block)
-    return block, len(block.rstrip(b"\x00"))
+    data = block if isinstance(block, bytes) else bytes(block)
+    return data, len(data.rstrip(b"\x00"))
 
 
 class Compressor(ABC):
     """Models the drive's per-4KB-block hardware compression engine."""
 
     @abstractmethod
-    def compressed_size(self, block) -> int:
+    def compressed_size(self, block: BytesLike) -> int:
         """Return the physical size, in bytes, of ``block`` after compression.
 
         ``block`` may be any bytes-like object.  The result is what the drive
@@ -93,7 +96,7 @@ class Compressor(ABC):
         device accounts separately).
         """
 
-    def ratio(self, block) -> float:
+    def ratio(self, block: BytesLike) -> float:
         """Compression ratio (compressed/original) in the paper's (0, 1] sense."""
         if len(block) == 0:
             return 1.0
@@ -119,7 +122,7 @@ class ZlibCompressor(Compressor):
             raise ValueError(f"zlib level must be in [1, 9], got {level}")
         self.level = level
 
-    def compressed_size(self, block) -> int:
+    def compressed_size(self, block: BytesLike) -> int:
         if len(block) == 0:
             return 0
         block, live_len = zero_tail_scan(block)
@@ -157,7 +160,7 @@ class ZeroTailZlibCompressor(Compressor):
         self.keep = keep
         self.tail_rate = tail_rate
 
-    def compressed_size(self, block) -> int:
+    def compressed_size(self, block: BytesLike) -> int:
         if len(block) == 0:
             return 0
         block, live_len = zero_tail_scan(block)
@@ -194,7 +197,7 @@ class ZeroRunEstimator(Compressor):
         self.entropy_factor = entropy_factor
         self.header_cost = header_cost
 
-    def compressed_size(self, block) -> int:
+    def compressed_size(self, block: BytesLike) -> int:
         if len(block) == 0:
             return 0
         if not isinstance(block, (bytes, bytearray)):
@@ -207,7 +210,7 @@ class ZeroRunEstimator(Compressor):
 class NullCompressor(Compressor):
     """No compression: models a conventional SSD without the zlib engine."""
 
-    def compressed_size(self, block) -> int:
+    def compressed_size(self, block: BytesLike) -> int:
         return len(block)
 
 
@@ -259,7 +262,7 @@ class SizeCachingCompressor(Compressor):
         self.bypassed = False
         self._cache: "OrderedDict[bytes, int]" = OrderedDict()
 
-    def compressed_size(self, block) -> int:
+    def compressed_size(self, block: BytesLike) -> int:
         if self.bypassed:
             return self.inner.compressed_size(block)
         key = hashlib.blake2b(block, digest_size=16).digest()

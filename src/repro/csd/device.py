@@ -32,6 +32,7 @@ from abc import ABC
 from typing import Callable, Optional
 
 from repro.csd.compression import (
+    BytesLike,
     Compressor,
     NullCompressor,
     SizeCachingCompressor,
@@ -121,7 +122,7 @@ class BlockDevice(ABC):
 
     # ------------------------------------------------------------------ I/O
 
-    def write_block(self, lba: int, data) -> int:
+    def write_block(self, lba: int, data: BytesLike) -> int:
         """Write one 4KB block atomically (one request, one block).
 
         Returns the post-compression bytes charged for the write, so callers
@@ -145,7 +146,7 @@ class BlockDevice(ABC):
             tracer.instant("dev.write", "csd", lba=lba, blocks=1, physical=physical)
         return physical
 
-    def write_blocks(self, lba: int, data) -> int:
+    def write_blocks(self, lba: int, data: BytesLike) -> int:
         """Write a contiguous run of blocks as one request.
 
         Each 4KB block within the request is individually atomic (a crash can
@@ -300,7 +301,7 @@ class BlockDevice(ABC):
             del pending[lba]
         pending[lba] = data
 
-    def _fetch(self, lba: int):
+    def _fetch(self, lba: int) -> bytes:
         self.stats.logical_bytes_read += BLOCK_SIZE
         # The drive internally fetches only the live compressed extent; a
         # trimmed/never-written block costs (almost) nothing to "read".

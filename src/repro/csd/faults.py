@@ -42,9 +42,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Protocol, Sequence, TypeVar
 
-from repro.csd.device import BLOCK_SIZE
+from repro.csd.device import BLOCK_SIZE, BlockDevice
+from repro.csd.compression import BytesLike
+from repro.metrics.faults import FaultStats
 from repro.errors import (
     FaultInjectionError,
     SimulatedCrashError,
@@ -199,7 +201,7 @@ class FaultInjectingDevice:
 
     def __init__(
         self,
-        inner,
+        inner: BlockDevice,
         plan: Optional[FaultPlan] = None,
         record_ops: bool = False,
     ) -> None:
@@ -221,7 +223,7 @@ class FaultInjectingDevice:
 
     # --------------------------------------------------------------- plumbing
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # Fall through to the wrapped device for everything not intercepted
         # (num_blocks, block_size, stats, ftl, physical_bytes_used, ...).
         return getattr(self.inner, name)
@@ -276,7 +278,7 @@ class FaultInjectingDevice:
 
     # ------------------------------------------------------------------- I/O
 
-    def write_block(self, lba: int, data) -> int:
+    def write_block(self, lba: int, data: BytesLike) -> int:
         """Write one block, subject to crash/transient/misdirect faults."""
         fault = self._next_op("write", lba, 1)
         if fault is not None and fault.kind == "crash":
@@ -298,7 +300,7 @@ class FaultInjectingDevice:
         self._clear_masks(lba, 1)
         return physical
 
-    def write_blocks(self, lba: int, data) -> int:
+    def write_blocks(self, lba: int, data: BytesLike) -> int:
         """Write a run of blocks; may tear (prefix applied, then raises)."""
         count = len(data) // BLOCK_SIZE
         fault = self._next_op("write", lba, count)
@@ -396,7 +398,11 @@ class FaultInjectingDevice:
             self._crash(fault.mode)
         self.inner.flush()
 
-    def simulate_crash(self, survives=None, keep_torn=None) -> list[int]:
+    def simulate_crash(
+        self,
+        survives: Optional[Callable[[int], bool]] = None,
+        keep_torn: Optional[int] = None,
+    ) -> list[int]:
         """Power-cut the wrapped device; latent corruption masks survive."""
         return self.inner.simulate_crash(survives=survives, keep_torn=keep_torn)
 
@@ -431,12 +437,34 @@ class FaultInjectingDevice:
 # --------------------------------------------------------------------------
 
 
+_T = TypeVar("_T")
+
+
+class _RetryableDevice(Protocol):
+    """The I/O surface the bounded-retry helpers drive.
+
+    Satisfied structurally by :class:`~repro.csd.device.BlockDevice`
+    subclasses and by :class:`FaultInjectingDevice` (which is a wrapper,
+    not a subclass).
+    """
+
+    def read_block(self, lba: int) -> bytes: ...
+
+    def read_blocks(self, lba: int, count: int) -> bytes: ...
+
+    def write_block(self, lba: int, data: BytesLike) -> int: ...
+
+    def write_blocks(self, lba: int, data: BytesLike) -> int: ...
+
+    def trim(self, lba: int, count: int = 1) -> None: ...
+
+
 def _retrying(
-    op: Callable[[], object],
-    stats,
+    op: Callable[[], _T],
+    stats: Optional[FaultStats],
     attempts: int,
     writes: bool,
-):
+) -> _T:
     """Run ``op`` with bounded retries on transient (and, for writes, torn)
     faults, bumping the matching counters on ``stats`` (optional).
 
@@ -464,31 +492,60 @@ def _retrying(
                 raise
 
 
-def read_block_retrying(device, lba, stats=None, attempts=RETRY_ATTEMPTS) -> bytes:
+def read_block_retrying(
+    device: _RetryableDevice,
+    lba: int,
+    stats: Optional[FaultStats] = None,
+    attempts: int = RETRY_ATTEMPTS,
+) -> bytes:
     """``device.read_block`` with bounded transient-fault retries."""
     return _retrying(lambda: device.read_block(lba), stats, attempts, writes=False)
 
 
-def read_blocks_retrying(device, lba, count, stats=None, attempts=RETRY_ATTEMPTS) -> bytes:
+def read_blocks_retrying(
+    device: _RetryableDevice,
+    lba: int,
+    count: int,
+    stats: Optional[FaultStats] = None,
+    attempts: int = RETRY_ATTEMPTS,
+) -> bytes:
     """``device.read_blocks`` with bounded transient-fault retries."""
     return _retrying(
         lambda: device.read_blocks(lba, count), stats, attempts, writes=False
     )
 
 
-def write_block_retrying(device, lba, data, stats=None, attempts=RETRY_ATTEMPTS) -> int:
+def write_block_retrying(
+    device: _RetryableDevice,
+    lba: int,
+    data: BytesLike,
+    stats: Optional[FaultStats] = None,
+    attempts: int = RETRY_ATTEMPTS,
+) -> int:
     """``device.write_block`` with bounded transient-fault retries."""
     return _retrying(lambda: device.write_block(lba, data), stats, attempts, writes=True)
 
 
-def write_blocks_retrying(device, lba, data, stats=None, attempts=RETRY_ATTEMPTS) -> int:
+def write_blocks_retrying(
+    device: _RetryableDevice,
+    lba: int,
+    data: BytesLike,
+    stats: Optional[FaultStats] = None,
+    attempts: int = RETRY_ATTEMPTS,
+) -> int:
     """``device.write_blocks`` with bounded transient/torn-write retries."""
     return _retrying(
         lambda: device.write_blocks(lba, data), stats, attempts, writes=True
     )
 
 
-def trim_retrying(device, lba, count=1, stats=None, attempts=RETRY_ATTEMPTS) -> None:
+def trim_retrying(
+    device: _RetryableDevice,
+    lba: int,
+    count: int = 1,
+    stats: Optional[FaultStats] = None,
+    attempts: int = RETRY_ATTEMPTS,
+) -> None:
     """``device.trim`` with bounded transient-fault retries.
 
     A *dropped* TRIM is silent by nature and cannot be retried; this only

@@ -18,7 +18,7 @@ the file to rebuild the FTL's live-extent map.
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.csd.compression import Compressor
 from repro.csd.device import (
@@ -72,7 +72,7 @@ class FileBackedBlockDevice(BlockDevice):
     def __enter__(self) -> "FileBackedBlockDevice":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # --------------------------------------------------- storage overrides
@@ -95,7 +95,11 @@ class FileBackedBlockDevice(BlockDevice):
         self._file.flush()
         self._pending.clear()
 
-    def simulate_crash(self, survives=None, keep_torn=None) -> list[int]:
+    def simulate_crash(
+        self,
+        survives: Optional[Callable[[int], bool]] = None,
+        keep_torn: Optional[int] = None,
+    ) -> list[int]:
         """Drop (or selectively apply) un-flushed writes; see the base class."""
         survives = _torn_survival(keep_torn, survives)
         self._crashed = True

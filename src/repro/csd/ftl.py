@@ -19,6 +19,8 @@ counter and excluded from WA by default.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.csd.stats import DeviceStats
 from repro.errors import CapacityError
 
@@ -88,7 +90,7 @@ class FlashTranslationLayer:
             self.stats.gc_bytes_written += gc_bytes
         return physical
 
-    def record_writes(self, lba: int, sizes) -> int:
+    def record_writes(self, lba: int, sizes: Sequence[int]) -> int:
         """Batch-account a contiguous multi-block host write.
 
         Numerically identical to calling :meth:`record_write` once per block

@@ -280,7 +280,8 @@ class LSMEngine:
             meta, logical, physical = writer.finish()
             self.flush_logical += logical
             self.flush_physical += physical
-            self.versions.add_table(0, SSTableReader.open(self.device, meta.start_block, meta.num_blocks))
+            reader = SSTableReader.open(self.device, meta.start_block, meta.num_blocks)
+            self.versions.add_table(0, reader)
             self.memtable = MemTable(seed=self._next_seq)
             self.memtable_flushes += 1
             if self.wal is not None:

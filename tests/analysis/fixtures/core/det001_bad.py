@@ -1,0 +1,30 @@
+"""DET001 fixture: ambient nondeterminism in simulation-core scope.
+
+Lives under a ``core/`` path segment so the determinism rule applies.
+Never imported — analyzed as source only.
+"""
+
+import os
+import random
+import time
+from datetime import datetime
+from random import randint  # DET001: module-global RNG import
+from time import time as wall_now  # DET001: wall-clock import
+
+
+def roll() -> tuple:
+    a = random.random()  # DET001: module-global RNG call
+    b = random.randint(0, 6)  # DET001: module-global RNG call
+    c = os.urandom(8)  # DET001: OS entropy
+    d = time.time()  # DET001: wall clock
+    e = datetime.now()  # DET001: argless datetime.now
+    return a, b, c, d, e, randint(0, 1), wall_now()
+
+
+def leak_order(items) -> list:
+    seen = {1, 2, 3}
+    out = []
+    for item in seen:  # DET001: iteration over unordered set
+        out.append(item)
+    out.extend(x for x in set(items))  # DET001: set() iteration, order leaks
+    return out

@@ -1,0 +1,16 @@
+"""DET001 fixture: the sanctioned deterministic counterparts — zero findings."""
+
+import random
+
+
+def roll(seed: int) -> float:
+    rng = random.Random(seed)  # explicitly seeded instance: allowed
+    return rng.random()
+
+
+def ordered(items) -> list:
+    seen = {1, 2, 3}
+    out = [item for item in sorted(seen)]  # sorted(): deterministic order
+    out.append(sum(x for x in set(items)))  # order-insensitive consumer
+    distinct = {x * 2 for x in set(items)}  # set result: no order to leak
+    return out + sorted(distinct)

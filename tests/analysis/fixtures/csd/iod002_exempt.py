@@ -1,0 +1,11 @@
+"""IOD002 fixture: the same private accesses under ``csd/`` are exempt.
+
+The device implementation itself owns these members — zero findings.
+"""
+
+
+def implementation_detail(self) -> None:
+    self._stable.clear()
+    self._pending.clear()
+    self._journal_put(0, None)
+    self.ftl.record_write(0, 64)

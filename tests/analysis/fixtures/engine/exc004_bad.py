@@ -1,0 +1,33 @@
+"""EXC004 fixture: broad handlers that silently swallow."""
+
+
+def quiet(op):
+    try:
+        return op()
+    except Exception:  # EXC004: silent swallow
+        pass
+
+
+def bare(op):
+    try:
+        return op()
+    except:  # EXC004: bare except, silent swallow
+        return None
+
+
+def probe(op):
+    try:
+        value = op()
+    except Exception:  # ok: try/except/else probe shape
+        pass
+    else:
+        return value
+    return -1
+
+
+def accounted(op, fault_stats):
+    try:
+        return op()
+    except Exception:  # ok: the fault is counted
+        fault_stats.checksum_failures += 1
+        return None

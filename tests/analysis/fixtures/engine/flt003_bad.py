@@ -1,0 +1,30 @@
+"""FLT003 fixture: transient-fault handlers that forget the accounting."""
+
+
+def heal_silently(device, lba: int):
+    try:
+        return device.read_block(lba)
+    except TransientIOError:  # FLT003: neither re-raises nor counts
+        return None
+
+
+def heal_tuple(device, lba: int, data: bytes) -> int:
+    try:
+        return device.write_block(lba, data)
+    except (TornWriteError, ValueError):  # FLT003: swallowed torn write
+        return 0
+
+
+def heal_accounted(device, lba: int, stats):
+    try:
+        return device.read_block(lba)
+    except TransientIOError:  # ok: counted then re-raised
+        stats.transient_read_retries += 1
+        raise
+
+
+def heal_reraise(device, lba: int):
+    try:
+        return device.read_block(lba)
+    except TransientIOError as exc:  # ok: converted and re-raised
+        raise RuntimeError("unrecoverable") from exc

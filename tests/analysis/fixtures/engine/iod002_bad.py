@@ -1,0 +1,20 @@
+"""IOD002 fixture: device bytes bypassing the sanctioned csd write path.
+
+Lives outside a ``csd/`` path segment, so the discipline rule applies.
+"""
+
+
+def sneak(device) -> bytes:
+    device._stable[3] = b"\x00" * 4096  # IOD002: private stable store
+    device._pending.pop(3, None)  # IOD002: private pending journal
+    device._journal_put(3, None)  # IOD002: private journal mutator
+    image = device._fetch(3)  # IOD002: unaccounted read path
+    device.ftl.record_write(3, 100)  # IOD002: direct FTL accounting
+    return image
+
+
+def sanctioned(device, lba: int, data: bytes) -> bytes:
+    device.write_block(lba, data)
+    device.trim(lba + 1)
+    device.flush()
+    return device.read_block(lba)

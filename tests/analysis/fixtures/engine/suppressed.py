@@ -1,0 +1,16 @@
+"""Suppression fixture: a used noqa, an unused one, and a typo'd rule id."""
+
+
+def quiet(op):
+    try:
+        return op()
+    except Exception:  # repro: noqa[EXC004] fixture: justified, suppressed
+        pass
+
+
+def fine() -> int:
+    return 1  # repro: noqa[EXC004] (NQA000: nothing to suppress here)
+
+
+def typo() -> int:
+    return 2  # repro: noqa[EXC999] (NQA000: unknown rule id)

@@ -1,0 +1,24 @@
+"""TRC006 fixture: tracer hooks violating the one-`is None`-test contract."""
+
+from repro.obs import trace as _trace
+
+
+def unguarded(lba: int) -> None:
+    _trace.TRACER.instant("dev.write", "csd", lba=lba)  # TRC006: no guard
+
+
+def truthy(lba: int) -> None:
+    tracer = _trace.TRACER
+    if tracer:  # TRC006: truthiness guard, not an identity test
+        tracer.instant("dev.write", "csd", lba=lba)
+
+
+def guarded(lba: int) -> None:
+    tracer = _trace.TRACER
+    if tracer is not None:  # ok: the sanctioned fetch-once-and-guard shape
+        tracer.instant("dev.write", "csd", lba=lba)
+
+
+def guarded_compound(lba: int, hot: bool) -> None:
+    if hot and _trace.TRACER is not None:  # ok: identity test in an and-chain
+        _trace.TRACER.instant("dev.write", "csd", lba=lba)

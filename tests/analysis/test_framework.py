@@ -1,0 +1,151 @@
+"""Framework behaviour: registry, suppressions, scoping, output formats."""
+
+import ast
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    all_rules,
+    analyze_source,
+    findings_to_json,
+    format_findings,
+    get_rule,
+    rule_ids,
+)
+from repro.analysis.framework import (
+    PARSE_ERROR_ID,
+    UNUSED_SUPPRESSION_ID,
+    FileContext,
+    select_rules,
+)
+from repro.errors import ConfigError
+
+EXPECTED_RULE_IDS = ["DET001", "EXC004", "FLT003", "IOD002", "PAR005", "TRC006"]
+
+
+def test_registry_has_all_six_rules():
+    assert rule_ids() == EXPECTED_RULE_IDS
+
+
+def test_rules_carry_metadata():
+    for rule in all_rules():
+        assert rule.id and rule.title and rule.invariant
+        assert rule.severity in ("error", "warning")
+
+
+def test_get_rule_unknown_id_is_config_error():
+    with pytest.raises(ConfigError, match="unknown rule id"):
+        get_rule("NOPE42")
+
+
+def test_select_rules_parses_csv_case_insensitively():
+    rules = select_rules("det001, trc006")
+    assert [r.id for r in rules] == ["DET001", "TRC006"]
+    assert [r.id for r in select_rules(None)] == EXPECTED_RULE_IDS
+
+
+def test_syntax_error_reports_parse_finding():
+    findings = analyze_source("def broken(:\n", "src/repro/core/x.py")
+    assert len(findings) == 1
+    assert findings[0].rule == PARSE_ERROR_ID
+    assert findings[0].severity == "error"
+
+
+BAD_EXC = (
+    "def f(op):\n"
+    "    try:\n"
+    "        return op()\n"
+    "    except Exception:{noqa}\n"
+    "        pass\n"
+)
+
+
+def test_noqa_suppresses_matching_rule():
+    dirty = analyze_source(BAD_EXC.format(noqa=""), "pkg/mod.py")
+    assert [f.rule for f in dirty] == ["EXC004"]
+    clean = analyze_source(
+        BAD_EXC.format(noqa="  # repro: noqa[EXC004] justified"), "pkg/mod.py"
+    )
+    assert clean == []
+
+
+def test_blanket_noqa_suppresses_any_rule():
+    clean = analyze_source(
+        BAD_EXC.format(noqa="  # repro: noqa"), "pkg/mod.py"
+    )
+    assert clean == []
+
+
+def test_noqa_for_other_rule_does_not_suppress():
+    findings = analyze_source(
+        BAD_EXC.format(noqa="  # repro: noqa[DET001]"), "pkg/mod.py"
+    )
+    rules = sorted(f.rule for f in findings)
+    # The EXC004 finding survives AND the DET001 suppression is unused.
+    assert rules == ["EXC004", UNUSED_SUPPRESSION_ID]
+
+
+def test_unused_suppression_is_a_finding():
+    findings = analyze_source("x = 1  # repro: noqa[EXC004]\n", "pkg/mod.py")
+    assert [f.rule for f in findings] == [UNUSED_SUPPRESSION_ID]
+    assert "unused suppression" in findings[0].message
+
+
+def test_unknown_rule_id_in_noqa_is_a_finding():
+    findings = analyze_source("x = 1  # repro: noqa[ZZZ999]\n", "pkg/mod.py")
+    assert [f.rule for f in findings] == [UNUSED_SUPPRESSION_ID]
+    assert "unknown rule id" in findings[0].message
+
+
+def test_unused_check_skipped_when_named_rule_not_selected():
+    # Only DET001 runs; the EXC004 marker's usage is undecidable, not an error.
+    findings = analyze_source(
+        BAD_EXC.format(noqa="  # repro: noqa[EXC004]"),
+        "pkg/mod.py",
+        rules=select_rules("DET001"),
+    )
+    assert findings == []
+
+
+def test_noqa_inside_string_literal_is_not_a_suppression():
+    source = 'MESSAGE = "use # repro: noqa[EXC004] to silence"\n'
+    findings = analyze_source(source, "pkg/mod.py")
+    assert findings == []  # and in particular no NQA000 for an unused marker
+
+
+def test_file_context_navigation():
+    source = "def outer():\n    if True:\n        return 1\n"
+    ctx = FileContext("pkg/mod.py", source, ast.parse(source))
+    ret = next(n for n in ast.walk(ctx.tree) if isinstance(n, ast.Return))
+    chain = list(ctx.ancestors(ret))
+    assert isinstance(chain[0], ast.If)
+    func = ctx.enclosing_function(ret)
+    assert isinstance(func, ast.FunctionDef) and func.name == "outer"
+    assert ctx.has_path_segment("pkg") and not ctx.has_path_segment("csd")
+
+
+def test_output_formats_stable():
+    findings = analyze_source(BAD_EXC.format(noqa=""), "pkg/mod.py")
+    human = format_findings(findings, files_scanned=1)
+    assert "pkg/mod.py:4:5: EXC004 [error]" in human
+    assert "1 finding(s) in 1 file" in human
+    payload = findings_to_json(findings, files_scanned=1)
+    assert payload["version"] == 1
+    assert payload["finding_count"] == 1
+    assert payload["findings_by_rule"] == {"EXC004": 1}
+    assert payload["findings"][0]["rule"] == "EXC004"
+    clean = format_findings([], files_scanned=3)
+    assert "clean: 0 findings in 3 files" in clean
+
+
+def test_findings_sorted_deterministically():
+    source = (
+        "import random\n"
+        "def f():\n"
+        "    b = random.random()\n"
+        "    a = random.randint(0, 1)\n"
+    )
+    findings = analyze_source(source, "src/repro/core/x.py")
+    assert [f.line for f in findings] == sorted(f.line for f in findings)
+    assert all(isinstance(f, Finding) for f in findings)

@@ -1,0 +1,155 @@
+"""Per-rule behaviour over the fixture files + the golden findings report.
+
+Each of the six rule ids must produce at least one fixture-triggered
+finding (an acceptance criterion of the analysis subsystem), and the full
+fixture report is pinned as golden JSON.  Regenerate after intentional rule
+changes with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/analysis -q
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.analysis import analyze_file, analyze_paths, findings_to_json
+from repro.analysis.framework import UNUSED_SUPPRESSION_ID, select_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN = Path(__file__).parent / "golden_findings.json"
+
+
+def fixture_findings(name, rules=None):
+    return analyze_file(str(FIXTURES / name), rules)
+
+
+def rules_only(*ids):
+    return select_rules(",".join(ids))
+
+
+# ------------------------------------------------------------------ DET001
+
+
+def test_det001_flags_every_ambient_source():
+    findings = fixture_findings("core/det001_bad.py", rules_only("DET001"))
+    messages = " | ".join(f.message for f in findings)
+    assert len(findings) == 9
+    assert "from random import randint" in messages
+    assert "from time import time" in messages
+    assert "random.random" in messages and "random.randint" in messages
+    assert "os.urandom" in messages
+    assert "time.time reads the host wall clock" in messages
+    assert "argless datetime now()" in messages
+    assert "unordered set `seen`" in messages
+    assert "unordered set `set(...)`" in messages
+
+
+def test_det001_clean_counterparts_pass():
+    assert fixture_findings("core/det001_clean.py", rules_only("DET001")) == []
+
+
+def test_det001_out_of_scope_file_is_skipped():
+    # Same violations under a non-core path segment: the rule does not apply.
+    source = "import random\nx = random.random()\n"
+    from repro.analysis import analyze_source
+
+    assert analyze_source(source, "src/repro/bench/x.py", rules_only("DET001")) == []
+    assert analyze_source(source, "src/repro/lsm/x.py", rules_only("DET001")) != []
+
+
+# ------------------------------------------------------------------ IOD002
+
+
+def test_iod002_flags_private_device_access():
+    findings = fixture_findings("engine/iod002_bad.py", rules_only("IOD002"))
+    attrs = [f.message.split("`")[1] for f in findings]
+    assert attrs == [
+        "._stable", "._pending", "._journal_put", "._fetch", ".ftl.record_write(...)",
+    ]
+
+
+def test_iod002_exempt_inside_csd():
+    assert fixture_findings("csd/iod002_exempt.py", rules_only("IOD002")) == []
+
+
+# ------------------------------------------------------------------ FLT003
+
+
+def test_flt003_flags_unaccounted_handlers_only():
+    findings = fixture_findings("engine/flt003_bad.py", rules_only("FLT003"))
+    assert [f.line for f in findings] == [7, 14]
+    assert "TransientIOError" in findings[0].message
+    assert "TornWriteError" in findings[1].message
+
+
+# ------------------------------------------------------------------ EXC004
+
+
+def test_exc004_flags_silent_swallows_only():
+    findings = fixture_findings("engine/exc004_bad.py", rules_only("EXC004"))
+    assert [f.line for f in findings] == [7, 14]
+    assert "bare except:" in findings[1].message
+
+
+def test_exc004_skips_cli_boundary():
+    from repro.analysis import analyze_source
+
+    source = "def f(op):\n    try:\n        return op()\n    except Exception:\n        pass\n"
+    assert analyze_source(source, "src/repro/cli.py", rules_only("EXC004")) == []
+
+
+# ------------------------------------------------------------------ PAR005
+
+
+def test_par005_flags_worker_mutations_only():
+    findings = fixture_findings("engine/par005_bad.py", rules_only("PAR005"))
+    workers = {f.message.split("`")[1] for f in findings}
+    assert workers == {"work", "work_global"}  # pure_worker stays clean
+    assert len(findings) == 4
+
+
+# ------------------------------------------------------------------ TRC006
+
+
+def test_trc006_flags_unguarded_and_truthy_hooks():
+    findings = fixture_findings("engine/trc006_bad.py", rules_only("TRC006"))
+    assert [f.line for f in findings] == [7, 13]
+    assert "unguarded tracer hook" in findings[0].message
+    assert "truthiness" in findings[1].message
+
+
+# ------------------------------------------------------- suppression fixture
+
+
+def test_suppression_fixture_reports_only_the_meta_findings():
+    findings = fixture_findings("engine/suppressed.py")
+    assert [f.rule for f in findings] == [UNUSED_SUPPRESSION_ID] * 2
+    assert "unused suppression" in findings[0].message
+    assert "unknown rule id" in findings[1].message
+
+
+# ------------------------------------------------------------------- golden
+
+
+def _relative_report():
+    findings, files_scanned = analyze_paths([str(FIXTURES)])
+    payload = findings_to_json(findings, files_scanned)
+    for finding in payload["findings"]:
+        finding["path"] = Path(finding["path"]).relative_to(FIXTURES).as_posix()
+    return payload
+
+
+def test_fixture_findings_match_golden():
+    payload = _relative_report()
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    expected = json.loads(GOLDEN.read_text())
+    assert payload == expected
+
+
+def test_every_rule_id_has_a_fixture_triggered_finding():
+    payload = _relative_report()
+    by_rule = payload["findings_by_rule"]
+    for rule_id in ("DET001", "IOD002", "FLT003", "EXC004", "PAR005", "TRC006"):
+        assert by_rule.get(rule_id, 0) >= 1, f"no fixture finding for {rule_id}"
+    assert by_rule.get(UNUSED_SUPPRESSION_ID, 0) >= 2

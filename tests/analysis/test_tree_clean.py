@@ -1,0 +1,23 @@
+"""Regression pin: the shipped tree satisfies its own invariant linter.
+
+The checkers audited the tree when they were introduced; the true positives
+they surfaced were fixed and the deliberate expected-corruption probes carry
+justified ``# repro: noqa[...]`` markers.  This test keeps it that way — and
+because unused suppressions are findings (NQA000), stale noqa markers fail
+here too.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_src_repro_is_lint_clean():
+    findings, files_scanned = analyze_paths([str(SRC_REPRO)])
+    report = "\n".join(
+        f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}" for f in findings
+    )
+    assert findings == [], f"repro lint regressions:\n{report}"
+    assert files_scanned > 50

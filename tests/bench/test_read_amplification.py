@@ -11,12 +11,10 @@ Verifies the per-operation read volumes the paper's speed arguments rest on:
 * an LSM scan reads from every level (read amplification scans can't avoid).
 """
 
-import pytest
 
 from repro.bench.harness import ExperimentSpec, build_engine
 from repro.csd.device import BLOCK_SIZE
 from repro.sim.rng import DeterministicRng
-from repro.workloads.records import KeySpace
 from repro.workloads.runner import WorkloadRunner
 
 N_RECORDS = 12_000

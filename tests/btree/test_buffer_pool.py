@@ -3,7 +3,7 @@
 import pytest
 
 from repro.btree.buffer_pool import BufferPool
-from repro.btree.page import Page, PageType
+from repro.btree.page import Page
 from repro.errors import TreeError
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.btree.buffer_pool import BufferPool
 from repro.btree.node import InternalNode, LeafNode
-from repro.btree.page import PageType
 from repro.btree.pager import make_pager
 from repro.btree.tree import BTree
 from repro.csd.device import CompressedBlockDevice

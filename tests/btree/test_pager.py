@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.btree.page import Page, PageType
+from repro.btree.page import Page
 from repro.btree.pager import (
     DeterministicShadowPager,
     JournalPager,

@@ -6,7 +6,6 @@ healing mechanism is pinned down in isolation with hand-placed corruption.
 
 import random
 
-import pytest
 
 from repro.btree.engine import BTreeConfig, BTreeEngine
 from repro.btree.page import Page
@@ -15,7 +14,6 @@ from repro.btree.wal import LogOp, LogPosition, LogRecord, RedoLog
 from repro.core.delta import DeltaShadowPager
 from repro.csd.device import BLOCK_SIZE, CompressedBlockDevice
 from repro.csd.faults import FaultInjectingDevice, FaultPlan, ScriptedFault
-from repro.metrics import FaultStats
 
 PAGE_SIZE = 8192
 

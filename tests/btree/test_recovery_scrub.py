@@ -8,7 +8,6 @@ correctly.
 
 import random
 
-import pytest
 
 from repro.btree.engine import BTreeConfig, BTreeEngine
 from repro.btree.node import LeafNode
@@ -75,8 +74,6 @@ def test_stale_leaf_tail_scrubbed_on_recovery():
 
     left_id = InternalNode(root).child_at(0)
     # Insert into the leftmost region until that leaf splits again.
-    probe = 1_000_000
-    depth_before = engine.tree.depth()
     leaf = LeafNode(engine.pool.get(left_id))
     first_keys = leaf.keys()
     hi = int.from_bytes(first_keys[-1], "big")
@@ -104,7 +101,6 @@ def test_stale_leaf_tail_scrubbed_on_recovery():
 def test_recovery_reallocates_only_unreachable_ids():
     engine, device, config = make_engine()
     expected = fill_until_split(engine)
-    next_id_before = engine.pager.allocator_state()[0]
     device.simulate_crash()
     recovered = BTreeEngine.open(device, config)
     next_id_after, free_ids = recovered.pager.allocator_state()

@@ -114,7 +114,6 @@ def test_sparse_mode_improves_physical_compression(log_device):
     """The whole point of technique 3: same logical volume, less physical."""
     import random
 
-    rng = random.Random(7)
     devices = {}
     for sparse in (False, True):
         device = CompressedBlockDevice(num_blocks=4096)

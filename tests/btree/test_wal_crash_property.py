@@ -8,7 +8,6 @@ Set ``REPRO_FUZZ_SEED=<n>`` to pin Hypothesis's example generation (see
 ``tests/fuzz.py``).
 """
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

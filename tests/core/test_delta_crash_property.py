@@ -10,7 +10,6 @@ Set ``REPRO_FUZZ_SEED=<n>`` to replay one scenario; failures print the seed
 to replay (see ``tests/fuzz.py``).
 """
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -9,7 +9,6 @@ from repro.csd.compression import (
     ZlibCompressor,
 )
 from repro.csd.device import BLOCK_SIZE
-from repro.sim.rng import DeterministicRng
 
 
 @pytest.fixture(params=["zlib", "estimator", "null"])

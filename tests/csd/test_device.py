@@ -4,8 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.csd.compression import ZERO_BLOCK_COST, ZlibCompressor
-from repro.csd.device import BLOCK_SIZE, CompressedBlockDevice, PlainSSD
+from repro.csd.compression import ZlibCompressor
+from repro.csd.device import BLOCK_SIZE, CompressedBlockDevice
 from repro.errors import AlignmentError, CapacityError, OutOfRangeError
 from repro.sim.rng import DeterministicRng
 
@@ -231,7 +231,9 @@ def test_property_live_bytes_never_exceed_physical_writes(seed):
     device = CompressedBlockDevice(num_blocks=32)
     for i in range(40):
         if rng.random() < 0.7:
-            device.write_block(rng.randrange(32), make_block(rng, nonzero_bytes=rng.randrange(BLOCK_SIZE)))
+            lba = rng.randrange(32)
+            block = make_block(rng, nonzero_bytes=rng.randrange(BLOCK_SIZE))
+            device.write_block(lba, block)
         else:
             device.trim(rng.randrange(32))
         assert device.physical_bytes_used <= device.stats.physical_bytes_written

@@ -78,7 +78,6 @@ def test_get_spans_flushed_tables():
 
 def test_newest_version_wins_across_levels():
     engine, _ = make_engine()
-    rng = random.Random(1)
     for round_no in range(6):
         for i in range(500):
             engine.put(key(i), f"round-{round_no}-{i}".encode())

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.metrics.counters import TrafficSnapshot, WaReport, compute_wa
+from repro.metrics.counters import TrafficSnapshot, compute_wa
 
 
 def snapshot(**kwargs):
