@@ -8,6 +8,7 @@ subclass :class:`repro.analysis.framework.Rule`, decorate it with
 from __future__ import annotations
 
 from repro.analysis.rules import (  # noqa: F401  (imported for registration)
+    buf007,
     det001,
     exc004,
     flt003,
@@ -16,4 +17,4 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     trc006,
 )
 
-__all__ = ["det001", "exc004", "flt003", "iod002", "par005", "trc006"]
+__all__ = ["buf007", "det001", "exc004", "flt003", "iod002", "par005", "trc006"]

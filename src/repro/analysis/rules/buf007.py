@@ -1,0 +1,142 @@
+"""BUF007 — pooled-buffer safety: borrowed scratch slabs never escape.
+
+Scope: the whole tree.
+
+:class:`repro.csd.arena.ScratchArena` recycles mutable ``bytearray`` slabs:
+``borrow()`` hands one out, ``release()`` returns it to the free list, and
+the *next* borrow re-zeroes and overwrites it.  A reference that outlives
+the borrow/release bracket therefore aliases memory that will be silently
+clobbered later — data corruption at a distance, far from the bug site.
+
+The rule resolves, within each function, the names bound from a
+``.borrow()`` call and flags the escapes that extend a slab's lifetime
+beyond the function's control:
+
+* ``return slab`` / ``yield slab`` — the caller receives a buffer the
+  arena will recycle underneath it;
+* ``anything.attr = slab`` / ``container[key] = slab`` — the slab is
+  stored somewhere that survives the call;
+* ``container.append(slab)`` (and friends) — same, via a retainer method.
+
+Passing the slab *down* as a plain call argument (``device.write_block(lba,
+slab)``, ``encode_into(slab, ...)``) is allowed: the device layer snapshots
+payloads to immutable ``bytes`` at the write boundary, so downward flow
+does not extend the slab's lifetime.  Returning a *copy* (``bytes(slab)``)
+is likewise fine — only the bare name escaping is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set, Union
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+
+#: Container methods that retain a reference to their argument.
+RETAINER_METHODS = frozenset(
+    {"append", "add", "insert", "setdefault", "appendleft", "push"}
+)
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_borrow_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "borrow"
+    )
+
+
+def _own_nodes(fn: _FunctionNode) -> Iterable[ast.AST]:
+    """Walk a function's own body, not descending into nested functions
+    (each function is checked against its own borrows, exactly once)."""
+    stack: list = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack.append(child)
+
+
+def _borrowed_names(fn: _FunctionNode) -> Set[str]:
+    names: Set[str] = set()
+    for node in _own_nodes(fn):
+        if isinstance(node, ast.Assign) and _is_borrow_call(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and _is_borrow_call(node.value):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+@register
+class PooledBufferEscape(Rule):
+    id = "BUF007"
+    title = "borrowed scratch buffer escapes its scope"
+    severity = "error"
+    invariant = (
+        "A slab borrowed from a ScratchArena is only valid until its "
+        "release; references must not outlive the borrow/release bracket "
+        "(the next borrow re-zeroes and overwrites the same memory)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: FileContext, fn: _FunctionNode
+    ) -> Iterable[Finding]:
+        borrowed = _borrowed_names(fn)
+        if not borrowed:
+            return
+        for node in _own_nodes(fn):
+            if isinstance(node, ast.Return):
+                if isinstance(node.value, ast.Name) and node.value.id in borrowed:
+                    yield self.make(
+                        ctx, node,
+                        f"`{fn.name}` returns borrowed slab `{node.value.id}`; "
+                        f"the arena will re-zero it under the caller — return "
+                        f"an immutable copy (`bytes(...)`) instead",
+                    )
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                value = node.value
+                if isinstance(value, ast.Name) and value.id in borrowed:
+                    yield self.make(
+                        ctx, node,
+                        f"`{fn.name}` yields borrowed slab `{value.id}`; "
+                        f"the slab is recycled when the generator resumes",
+                    )
+            elif isinstance(node, ast.Assign):
+                if not (isinstance(node.value, ast.Name)
+                        and node.value.id in borrowed):
+                    continue
+                for target in node.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        yield self.make(
+                            ctx, target,
+                            f"`{fn.name}` stores borrowed slab "
+                            f"`{node.value.id}` outside its scope; the next "
+                            f"borrow will overwrite the retained buffer",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in RETAINER_METHODS
+                    and any(
+                        isinstance(arg, ast.Name) and arg.id in borrowed
+                        for arg in node.args
+                    )
+                ):
+                    yield self.make(
+                        ctx, node,
+                        f"`{fn.name}` retains a borrowed slab via "
+                        f"`.{func.attr}(...)`; containers must hold copies, "
+                        f"not pooled buffers",
+                    )

@@ -189,6 +189,86 @@ class BTreeEngine:
     def scan(self, start_key: bytes, count: int) -> list[tuple[bytes, bytes]]:
         return self.tree.scan(start_key, count)
 
+    # ------------------------------------------------------------- batch API
+
+    def put_batch(self, items: list[tuple[bytes, bytes]]) -> None:
+        """Insert/update a sequence of records with amortised per-op overhead.
+
+        Bit-identical to ``for k, v in items: put(k, v)`` — same WAL records,
+        LSNs, page mutations, and device writes — but the fixed costs are
+        paid once per batch: one in-place WAL framing loop, one batched tree
+        descent that revisits each leaf once per run of same-leaf keys, and
+        one checkpoint-pressure decision.
+
+        The single pressure decision is sound because each WAL append seals
+        at most one block, so when ``blocks_since + len(items)`` stays at or
+        under the half-ring trigger no per-op check could have fired
+        mid-batch; when that bound does not hold the batch falls back to the
+        per-op path, which checks (and checkpoints) exactly like single ops.
+        """
+        if not isinstance(items, list):
+            items = list(items)
+        if not items:
+            return
+        wal = self.wal if not self._replaying else None
+        if wal is not None and (
+            wal.blocks_since(self._checkpoint_pos) + len(items)
+            > self.config.log_blocks // 2
+        ):
+            for key, value in items:
+                self.put(key, value)
+            return
+        if wal is not None:
+            append_kv = wal.append_kv
+            txid = self._txid
+            lsn = self._lsn
+            for key, value in items:
+                lsn += 1
+                append_kv(lsn, txid, LogOp.PUT, key, value)
+        self.tree.put_batch(items)
+        self.user_bytes += sum(len(key) + len(value) for key, value in items)
+        self.operations += len(items)
+        self._checkpoint_if_log_pressure()
+
+    def get_batch(self, keys: list[bytes]) -> list[Optional[bytes]]:
+        """Point-lookup a sequence of keys (one descent per same-leaf run)."""
+        if not isinstance(keys, list):
+            keys = list(keys)
+        return self.tree.get_batch(keys)
+
+    def delete_batch(self, keys: list[bytes]) -> None:
+        """Delete a sequence of keys; same amortisation as :meth:`put_batch`.
+
+        Raises :class:`KeyNotFoundError` at the first absent key, with every
+        earlier delete applied (matching the single-op sequence).  The
+        pre-framed redo records of the undone suffix are harmless if the
+        caller continues past the error: replaying a DELETE of an absent key
+        is a no-op by recovery's own rules.
+        """
+        if not isinstance(keys, list):
+            keys = list(keys)
+        if not keys:
+            return
+        wal = self.wal if not self._replaying else None
+        if wal is not None and (
+            wal.blocks_since(self._checkpoint_pos) + len(keys)
+            > self.config.log_blocks // 2
+        ):
+            for key in keys:
+                self.delete(key)
+            return
+        if wal is not None:
+            append_kv = wal.append_kv
+            txid = self._txid
+            lsn = self._lsn
+            for key in keys:
+                lsn += 1
+                append_kv(lsn, txid, LogOp.DELETE, key, b"")
+        self.tree.delete_batch(keys)
+        self.user_bytes += sum(len(key) for key in keys)
+        self.operations += len(keys)
+        self._checkpoint_if_log_pressure()
+
     def items(self) -> Iterator[tuple[bytes, bytes]]:
         return self.tree.items()
 
@@ -277,7 +357,9 @@ class BTreeEngine:
         for fid in free_ids:
             struct.pack_into("<Q", block, offset, fid)
             offset += 8
-        struct.pack_into("<I", block, len(block) - 4, zlib.crc32(bytes(block[:-4])))
+        struct.pack_into(
+            "<I", block, len(block) - 4, zlib.crc32(memoryview(block)[:-4])
+        )
         physical = write_block_retrying(
             self.device, self.META_BLOCK, bytes(block), self._fault_stats
         )
@@ -293,14 +375,14 @@ class BTreeEngine:
         if block[:4] != _META_MAGIC:
             return None
         stored_crc, = struct.unpack_from("<I", block, len(block) - 4)
-        if zlib.crc32(bytes(block[:-4])) != stored_crc:
+        if zlib.crc32(memoryview(block)[:-4]) != stored_crc:
             # One clean re-read heals transient (bus) corruption; persistent
             # meta corruption is fatal — the meta page has no replica.
             if fault_stats is not None:
                 fault_stats.checksum_failures += 1
             block = read_block_retrying(device, BTreeEngine.META_BLOCK, fault_stats)
             stored_crc, = struct.unpack_from("<I", block, len(block) - 4)
-            if zlib.crc32(bytes(block[:-4])) != stored_crc:
+            if zlib.crc32(memoryview(block)[:-4]) != stored_crc:
                 raise RecoveryError("meta page failed checksum verification")
             if fault_stats is not None:
                 fault_stats.reread_heals += 1

@@ -241,13 +241,21 @@ class LeafNode(_NodeBase):
             if acc >= total // 2 and i + 1 < n:
                 mid = i + 1
                 break
-        moved = [(self.key_at(i), self.value_at(i)) for i in range(mid, n)]
-        for key, value in moved:
-            right.put(key, value)
+        separator = self.key_at(mid)
+        # The moved records are already sorted and ``right`` is fresh, so the
+        # raw cells can be appended directly — byte-identical to re-inserting
+        # through ``right.put`` (same allocate/write/slot sequence on an empty
+        # page) without the per-record binary search and cell repacking.
+        rpage = right.page
+        for i in range(mid, n):
+            cell = self._raw_cell(i)
+            offset = rpage.allocate_cell(len(cell))
+            rpage.write_cell(offset, cell)
+            rpage.insert_slot(rpage.nslots, offset)
         for i in range(n - 1, mid - 1, -1):
             self.delete_at(i)
         self._compact()
-        return moved[0][0]
+        return separator
 
 
 class InternalNode(_NodeBase):

@@ -149,6 +149,124 @@ class BTree:
         finally:
             self._unpin(pinned)
 
+    # ------------------------------------------------------------- batch ops
+
+    def put_batch(self, items: list[tuple[bytes, bytes]]) -> int:
+        """Apply puts in order, revisiting a leaf only once per run of keys.
+
+        Equivalent to ``for k, v in items: put(k, v)`` — same records, same
+        LSNs, same page mutations, same flush/eviction sequence — but a run
+        of consecutive keys routed to the same leaf skips the repeated
+        descent: the leaf and its routing bounds ``[lower, upper)`` are
+        cached from the first descent and reused while keys stay inside.
+
+        Why the collapse cannot change observable state: repeating an
+        identical all-hit descent only issues idempotent LRU refreshes (the
+        path's relative recency order is unchanged, and nothing else is
+        touched between the ops of a run), so no load, eviction, flush, or
+        device write moves.  Any structural change (split, root growth)
+        invalidates the cached leaf and the next op re-descends exactly as
+        the single-op path would.  Returns the number of newly inserted keys.
+        """
+        inserted = 0
+        lsn_source = self._lsn_source
+        max_record = self.max_record_bytes
+        # Validate everything before mutating anything: a bad item rejects the
+        # whole batch with no record applied and no LSN consumed (the engine
+        # relies on this to keep its pre-framed WAL records consistent).
+        for key, value in items:
+            if not key:
+                raise TreeError("empty keys are reserved for internal routing")
+            if leaf_cell_size(key, value) > max_record:
+                raise TreeError(
+                    f"record of {leaf_cell_size(key, value)} bytes exceeds the "
+                    f"{max_record}-byte limit for {self.page_size}-byte pages"
+                )
+        path: list[tuple[InternalNode, int]] = []
+        leaf: Optional[LeafNode] = None
+        lower = b""
+        upper: Optional[bytes] = None
+        pinned: list[int] = []
+        try:
+            for key, value in items:
+                lsn = lsn_source()
+                if leaf is None or key < lower or (upper is not None and key >= upper):
+                    self._unpin(pinned)
+                    pinned = []
+                    path, leaf, lower, upper, pinned = self._descend_for_write_bounded(key)
+                try:
+                    if leaf.put(key, value):
+                        inserted += 1
+                    self._stamp(leaf.page, lsn)
+                except PageFullError:
+                    target = self._split_leaf(path, leaf, key, lsn, pinned)
+                    if target.put(key, value):
+                        inserted += 1
+                    self._stamp(target.page, lsn)
+                    # The split moved records and may have reshaped ancestors;
+                    # drop the cached route and re-descend for the next key.
+                    self._unpin(pinned)
+                    pinned = []
+                    leaf = None
+        finally:
+            self._unpin(pinned)
+        return inserted
+
+    def get_batch(self, keys: list[bytes]) -> list[Optional[bytes]]:
+        """Point-lookup each key in order, collapsing same-leaf runs.
+
+        Equivalent to ``[get(k) for k in keys]`` (see :meth:`put_batch` for
+        the collapse argument); reads never mutate, so only the repeated
+        descent is saved.
+        """
+        out: list[Optional[bytes]] = []
+        leaf: Optional[LeafNode] = None
+        lower = b""
+        upper: Optional[bytes] = None
+        pinned: list[int] = []
+        try:
+            for key in keys:
+                if leaf is None or key < lower or (upper is not None and key >= upper):
+                    self._unpin(pinned)
+                    pinned = []
+                    leaf, lower, upper, pinned = self._descend_for_read_bounded(key)
+                out.append(leaf.get(key))
+        finally:
+            self._unpin(pinned)
+        return out
+
+    def delete_batch(self, keys: list[bytes]) -> None:
+        """Delete each key in order, collapsing same-leaf runs.
+
+        Equivalent to ``for k in keys: delete(k)``; raises
+        :class:`KeyNotFoundError` at the first absent key (earlier deletes
+        stay applied, matching the single-op sequence).  A delete that
+        empties a leaf triggers the structural unlink and invalidates the
+        cached route.
+        """
+        lsn_source = self._lsn_source
+        path: list[tuple[InternalNode, int]] = []
+        leaf: Optional[LeafNode] = None
+        lower = b""
+        upper: Optional[bytes] = None
+        pinned: list[int] = []
+        try:
+            for key in keys:
+                lsn = lsn_source()
+                if leaf is None or key < lower or (upper is not None and key >= upper):
+                    self._unpin(pinned)
+                    pinned = []
+                    path, leaf, lower, upper, pinned = self._descend_for_write_bounded(key)
+                leaf.delete(key)  # raises KeyNotFoundError
+                self._stamp(leaf.page, lsn)
+                if leaf.nslots == 0 and path:
+                    self._remove_empty_page(path, leaf.page.page_id, lsn, pinned)
+                    self._unpin(pinned)
+                    pinned = []
+                    leaf = None
+        finally:
+            self._unpin(pinned)
+
     # -------------------------------------------------------------- descent
 
     def _descend_for_read(self, key: bytes) -> tuple[LeafNode, list[int]]:
@@ -193,6 +311,57 @@ class BTree:
             page = self.pool.get(node.child_at(index), pin=True)
             pinned.append(page.page_id)
         return path, LeafNode(page), pinned
+
+    def _descend_for_read_bounded(
+        self, key: bytes
+    ) -> tuple[LeafNode, bytes, Optional[bytes], list[int]]:
+        """Read descent returning ``(leaf, lower, upper, pinned)``.
+
+        ``[lower, upper)`` is the leaf's routing key range: any key inside it
+        descends to this same leaf (absent structural changes), which is what
+        lets the batch cursor reuse the leaf without re-descending.
+        """
+        pinned: list[int] = []
+        lower = b""
+        upper: Optional[bytes] = None
+        page = self.pool.get(self.root_id, pin=True)
+        pinned.append(page.page_id)
+        while page.page_type == PageType.INTERNAL:
+            node = InternalNode(page)
+            index = node.child_index_for(key)
+            bound = node.key_at(index)
+            if bound:
+                lower = bound
+            if index + 1 < node.nslots:
+                upper = node.key_at(index + 1)
+            page = self.pool.get(node.child_at(index), pin=True)
+            pinned.append(page.page_id)
+        return LeafNode(page), lower, upper, pinned
+
+    def _descend_for_write_bounded(
+        self, key: bytes
+    ) -> tuple[
+        list[tuple[InternalNode, int]], LeafNode, bytes, Optional[bytes], list[int]
+    ]:
+        """Write descent returning ``(path, leaf, lower, upper, pinned)``."""
+        pinned: list[int] = []
+        path: list[tuple[InternalNode, int]] = []
+        lower = b""
+        upper: Optional[bytes] = None
+        page = self.pool.get(self.root_id, pin=True)
+        pinned.append(page.page_id)
+        while page.page_type == PageType.INTERNAL:
+            node = InternalNode(page)
+            index = node.child_index_for(key)
+            path.append((node, index))
+            bound = node.key_at(index)
+            if bound:
+                lower = bound
+            if index + 1 < node.nslots:
+                upper = node.key_at(index + 1)
+            page = self.pool.get(node.child_at(index), pin=True)
+            pinned.append(page.page_id)
+        return path, LeafNode(page), lower, upper, pinned
 
     def _unpin(self, pinned: list[int]) -> None:
         for page_id in pinned:

@@ -151,17 +151,42 @@ class RedoLog:
 
     def append(self, record: LogRecord) -> None:
         """Buffer a record in memory (durable only after :meth:`flush`)."""
-        encoded = record.encode()
-        if len(encoded) > BLOCK_CAPACITY:
+        self.append_kv(record.lsn, record.txid, record.op, record.key, record.value)
+
+    def append_kv(
+        self, lsn: int, txid: int, op: LogOp, key: bytes, value: bytes
+    ) -> None:
+        """Append a record by packing it straight into the open block.
+
+        Produces bytes identical to ``append(LogRecord(...))`` but without
+        materialising the payload, the record, or the encoded form as
+        intermediate ``bytes`` objects — the record is framed in place in
+        ``self._block`` and the CRC is computed over a ``memoryview`` of the
+        payload region.  This is the engine hot path: every put/delete of
+        every engine funnels one record through here.
+        """
+        klen = len(key)
+        vlen = len(value)
+        payload_len = _PAYLOAD_HDR.size + klen + vlen
+        encoded_len = _REC_HDR.size + payload_len
+        if encoded_len > BLOCK_CAPACITY:
             raise WalError(
-                f"log record of {len(encoded)} bytes exceeds block capacity"
+                f"log record of {encoded_len} bytes exceeds block capacity"
             )
-        if self._used + len(encoded) > BLOCK_SIZE:
+        if self._used + encoded_len > BLOCK_SIZE:
             self._seal_block(already_durable=False)
-        self._block[self._used : self._used + len(encoded)] = encoded
-        self._used += len(encoded)
+        block = self._block
+        start = self._used
+        payload_start = start + _REC_HDR.size
+        _PAYLOAD_HDR.pack_into(block, payload_start, lsn, txid, int(op), klen, vlen)
+        key_off = payload_start + _PAYLOAD_HDR.size
+        block[key_off : key_off + klen] = key
+        block[key_off + klen : key_off + klen + vlen] = value
+        crc = zlib.crc32(memoryview(block)[payload_start : payload_start + payload_len])
+        _REC_HDR.pack_into(block, start, payload_len, crc)
+        self._used = start + encoded_len
         self.stats.records_appended += 1
-        self.stats.record_bytes += len(encoded)
+        self.stats.record_bytes += encoded_len
 
     def _seal_block(self, already_durable: bool) -> None:
         """Close the current block (tail stays zero) and open the next one.

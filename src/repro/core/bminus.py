@@ -121,6 +121,25 @@ class BMinusTree:
         """Remove a record; raises ``KeyNotFoundError`` if absent."""
         self.engine.delete(key)
 
+    def put_batch(self, items: list[tuple[bytes, bytes]]) -> None:
+        """Insert/update many records in one amortised call.
+
+        Bit-identical to the equivalent ``put`` sequence (same WAL records,
+        page writes, and device bytes); the per-op descent/framing/decision
+        overhead is paid once per batch — see
+        :meth:`repro.btree.engine.BTreeEngine.put_batch`.
+        """
+        self.engine.put_batch(items)
+
+    def get_batch(self, keys: list[bytes]) -> list[Optional[bytes]]:
+        """Point-lookup many keys in one call (None for absent keys)."""
+        return self.engine.get_batch(keys)
+
+    def delete_batch(self, keys: list[bytes]) -> None:
+        """Delete many records; raises ``KeyNotFoundError`` at the first
+        absent key with every earlier delete applied."""
+        self.engine.delete_batch(keys)
+
     def scan(self, start_key: bytes, count: int) -> list[tuple[bytes, bytes]]:
         """Ordered range scan of up to ``count`` records from ``start_key``."""
         return self.engine.scan(start_key, count)

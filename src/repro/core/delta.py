@@ -38,6 +38,7 @@ from typing import Any, Optional
 
 from repro.btree.page import DIRTY_GRAIN, Page
 from repro.btree.pager import DeterministicShadowPager
+from repro.csd.arena import ScratchArena
 from repro.csd.device import BLOCK_SIZE
 from repro.errors import ConfigError, RecoveryError
 from repro.obs.trace import maybe_instant, maybe_span
@@ -82,7 +83,7 @@ class DeltaBlock:
         if offset + len(self.payload) > BLOCK_SIZE:
             raise ConfigError("delta payload exceeds the 4KB logging block")
         block[offset : offset + len(self.payload)] = self.payload
-        crc = zlib.crc32(bytes(block))
+        crc = zlib.crc32(block)
         struct.pack_into("<I", block, _CRC_OFFSET, crc)
         return bytes(block)
 
@@ -94,7 +95,7 @@ class DeltaBlock:
         magic, page_id, base_lsn, lsn, seg_size, nsegs, crc = _HDR.unpack_from(block, 0)
         scratch = bytearray(block)
         struct.pack_into("<I", scratch, _CRC_OFFSET, 0)
-        if zlib.crc32(bytes(scratch)) != crc:
+        if zlib.crc32(scratch) != crc:
             return None
         if seg_size == 0 or page_size % seg_size != 0:
             return None
@@ -108,6 +109,46 @@ class DeltaBlock:
         offset += bitmap_bytes
         payload = block[offset : offset + nsegs * seg_size]
         return cls(page_id, base_lsn, lsn, seg_size, segments, payload)
+
+    @staticmethod
+    def encode_into(
+        out: bytearray,
+        page_size: int,
+        page_id: int,
+        base_lsn: int,
+        lsn: int,
+        segment_size: int,
+        segments: list[int],
+        source: "bytearray",
+    ) -> None:
+        """Encode a delta block straight into the zeroed 4KB slab ``out``.
+
+        Byte-identical to ``DeltaBlock(...).encode(page_size)`` with a
+        payload sliced from ``source`` (the live page buffer), but with zero
+        intermediate allocations: the dirty segments are copied once, from
+        the page buffer into the slab, through ``memoryview`` slices; the
+        CRC runs over the slab itself.  ``segments`` must be sorted (payload
+        order is index order) and ``out`` must arrive zero-filled — the
+        zero tail is the compressible padding technique 2 relies on.
+        """
+        k = page_size // segment_size
+        bitmap_bytes = (k + 7) // 8
+        offset = DELTA_HEADER_SIZE + bitmap_bytes
+        if offset + len(segments) * segment_size > BLOCK_SIZE:
+            raise ConfigError("delta payload exceeds the 4KB logging block")
+        _HDR.pack_into(
+            out, 0, DELTA_MAGIC, page_id, base_lsn, lsn,
+            segment_size, len(segments), 0,
+        )
+        src = memoryview(source)
+        for seg in segments:
+            out[DELTA_HEADER_SIZE + seg // 8] |= 1 << (seg % 8)
+            out[offset : offset + segment_size] = src[
+                seg * segment_size : (seg + 1) * segment_size
+            ]
+            offset += segment_size
+        crc = zlib.crc32(out)
+        struct.pack_into("<I", out, _CRC_OFFSET, crc)
 
     def apply_to(self, base_image: bytes) -> bytes:
         """Reconstruct the up-to-date page image from the base image."""
@@ -150,6 +191,9 @@ class DeltaShadowPager(DeterministicShadowPager):
         self.segment_size = segment_size
         self._fvec: dict[int, set[int]] = {}
         self._base_lsn: dict[int, int] = {}
+        #: Recycled 4KB staging slabs for delta-block framing; each flush
+        #: borrows one for the duration of a single device write.
+        self._arena = ScratchArena(BLOCK_SIZE)
 
     # -------------------------------------------------------------- layout
 
@@ -176,14 +220,18 @@ class DeltaShadowPager(DeterministicShadowPager):
         ordered = sorted(segments)
         with maybe_span("pager.delta_flush", "btree", page_id=page_id,
                         delta_bytes=delta_size, nsegs=len(ordered)):
-            payload = b"".join(
-                bytes(page.buf[s * self.segment_size : (s + 1) * self.segment_size])
-                for s in ordered
-            )
-            block = DeltaBlock(
-                page_id, base_lsn, page.lsn, self.segment_size, ordered, payload
-            ).encode(self.page_size)
-            physical = self._write_block(self._delta_lba(page_id), block)
+            # Frame the delta block in a recycled slab: segments are copied
+            # once, page buffer -> slab; the device journal takes the one
+            # unavoidable snapshot at the write boundary.
+            slab = self._arena.borrow()
+            try:
+                DeltaBlock.encode_into(
+                    slab, self.page_size, page_id, base_lsn, page.lsn,
+                    self.segment_size, ordered, page.buf,
+                )
+                physical = self._write_block(self._delta_lba(page_id), slab)
+            finally:
+                self._arena.release(slab)
             self.device.flush()
             self.stats.delta_flushes += 1
             self.stats.page_flushes += 1

@@ -13,6 +13,7 @@ computed from).
 misdirected writes, scripted crash points).
 """
 
+from repro.csd.arena import ScratchArena
 from repro.csd.compression import (
     Compressor,
     NullCompressor,
@@ -60,6 +61,7 @@ __all__ = [
     "NullCompressor",
     "PlainSSD",
     "RETRY_ATTEMPTS",
+    "ScratchArena",
     "ScriptedFault",
     "SizeCachingCompressor",
     "ZeroRunEstimator",

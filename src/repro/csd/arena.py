@@ -1,0 +1,78 @@
+"""Reusable scratch-buffer arena for the block-framing hot paths.
+
+Every flush-shaped operation in the write path needs a zeroed 4KB (or
+page-sized) staging buffer for exactly the duration of one device call:
+delta-block encoding, WAL block framing, meta-page packing.  Allocating a
+fresh ``bytearray`` per call churns the allocator on the hottest loops, so
+:class:`ScratchArena` keeps a small free list of fixed-size slabs and hands
+them out zeroed.
+
+Ownership rules (enforced statically by lint rule ``BUF007``):
+
+* a slab obtained from :meth:`ScratchArena.borrow` is owned by the caller
+  only until the matching :meth:`ScratchArena.release` — borrow/release must
+  bracket one logical operation (use ``try/finally``);
+* a borrowed slab must never escape its scope: not returned, not yielded,
+  not stored on ``self`` or in a container.  The device layer snapshots
+  block payloads at the write boundary (the pending journal stores immutable
+  ``bytes``), so handing a slab to ``write_block`` and then recycling it is
+  safe by construction;
+* a released slab's contents are undefined; the next borrow re-zeroes it.
+
+The arena is deliberately not thread-safe: the simulation is single-threaded
+by design (DESIGN.md §3) and the free list is a plain LIFO.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["ScratchArena"]
+
+
+class ScratchArena:
+    """A LIFO pool of fixed-size, zero-filled ``bytearray`` slabs.
+
+    ``reuses`` / ``borrows`` expose recycling behaviour for tests and
+    benchmarks; steady-state hot loops should show ``reuses == borrows - k``
+    with ``k`` the small peak concurrency of nested borrows.
+    """
+
+    def __init__(self, slab_size: int, capacity: int = 4) -> None:
+        if slab_size <= 0:
+            raise ValueError("slab size must be positive")
+        if capacity < 1:
+            raise ValueError("arena capacity must be at least 1")
+        self.slab_size = slab_size
+        self.capacity = capacity
+        self.borrows = 0
+        self.reuses = 0
+        self._zero = bytes(slab_size)
+        self._free: List[bytearray] = []
+
+    def borrow(self) -> bytearray:
+        """Hand out a zeroed slab (recycled when one is free).
+
+        The caller owns the slab until :meth:`release`; see the module
+        docstring for the aliasing rules ``BUF007`` enforces.
+        """
+        self.borrows += 1
+        if self._free:
+            self.reuses += 1
+            slab = self._free.pop()
+            slab[:] = self._zero  # memset-equivalent: no new allocation
+            return slab
+        return bytearray(self.slab_size)
+
+    def release(self, slab: bytearray) -> None:
+        """Return a slab to the free list (drop it if the arena is full)."""
+        if len(slab) != self.slab_size:
+            raise ValueError(
+                f"released slab of {len(slab)} bytes does not match "
+                f"arena slab size {self.slab_size}"
+            )
+        if len(self._free) < self.capacity:
+            self._free.append(slab)
+
+    def __len__(self) -> int:
+        return len(self._free)

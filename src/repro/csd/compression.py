@@ -171,7 +171,9 @@ class ZeroTailZlibCompressor(Compressor):
             # Dense block: the fast path would compress almost everything
             # anyway, so take the exact path.
             return min(len(block), len(zlib.compress(block, self.level)))
-        live = block[: live_len + self.keep]  # live prefix + retained zero pad
+        # Live prefix + retained zero pad, sliced as a memoryview so the
+        # fast path never copies the block it is trying not to compress.
+        live = memoryview(block)[: live_len + self.keep]
         estimate = len(zlib.compress(live, self.level)) + round(
             (tail - self.keep) * self.tail_rate
         )

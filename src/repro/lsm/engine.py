@@ -173,6 +173,96 @@ class LSMEngine:
             raise KeyNotFoundError(repr(key))
         self.delete(key)
 
+    # ------------------------------------------------------------- batch API
+
+    def put_batch(self, items: list[tuple[bytes, bytes]]) -> None:
+        """Insert/update a sequence of records with amortised per-op overhead.
+
+        Bit-identical to ``for k, v in items: put(k, v)``: same WAL records
+        and LSNs, same memtable state (the skiplist height RNG is drawn in
+        the same order), same flush/compaction sequence.  The memtable size
+        trigger and the WAL ring guard are decided once per batch instead of
+        per op — sound because ``Σ(len(k)+len(v)+24)`` upper-bounds the
+        memtable growth of any batch prefix and each WAL append seals at
+        most one ring block, so when both bounds clear the triggers no
+        per-op check could have fired mid-batch.  Otherwise the batch falls
+        back to the per-op path, which behaves exactly like single ops.
+        """
+        if not isinstance(items, list):
+            items = list(items)
+        if not items:
+            return
+        payload = 0
+        for key, value in items:
+            if value is None:
+                raise LsmError("None is reserved for tombstones; use delete_batch()")
+            payload += len(key) + len(value) + 24
+        if not self._can_defer_flush_decision(len(items), payload):
+            for key, value in items:
+                self.put(key, value)
+            return
+        if self.wal is not None:
+            append_kv = self.wal.append_kv
+            txid = self._txid
+            lsn = self._lsn
+            for key, value in items:
+                lsn += 1
+                append_kv(lsn, txid, LogOp.PUT, key, value)
+            self._lsn = lsn
+        self.memtable.put_batch(items)
+        self.user_bytes += sum(len(key) + len(value) for key, value in items)
+        self.operations += len(items)
+        self._maybe_flush_memtable()
+
+    def get_batch(self, keys: list[bytes]) -> list[Optional[bytes]]:
+        """Point-lookup a sequence of keys (``[get(k) for k in keys]``)."""
+        get = self.get
+        return [get(key) for key in keys]
+
+    def delete_batch(self, keys: list[bytes]) -> None:
+        """Record a sequence of tombstones (blind deletes, RocksDB semantics)."""
+        if not isinstance(keys, list):
+            keys = list(keys)
+        if not keys:
+            return
+        payload = sum(len(key) + 24 for key in keys)
+        if not self._can_defer_flush_decision(len(keys), payload):
+            for key in keys:
+                self.delete(key)
+            return
+        if self.wal is not None:
+            append_kv = self.wal.append_kv
+            txid = self._txid
+            lsn = self._lsn
+            for key in keys:
+                lsn += 1
+                append_kv(lsn, txid, LogOp.DELETE, key, b"")
+            self._lsn = lsn
+        self.memtable.put_batch([(key, None) for key in keys])
+        self.user_bytes += sum(len(key) for key in keys)
+        self.operations += len(keys)
+        self._maybe_flush_memtable()
+
+    def _can_defer_flush_decision(self, n_ops: int, payload_bound: int) -> bool:
+        """True when no per-op memtable-flush check could fire mid-batch.
+
+        Two triggers exist (see :meth:`_maybe_flush_memtable`); both are
+        monotone in the batch prefix, so bounding the whole batch bounds
+        every prefix: the memtable stays under its size threshold because
+        ``payload_bound`` over-approximates growth (updates shrink it), and
+        the WAL ring guard stays clear because ``n_ops`` appends seal at
+        most ``n_ops`` blocks.
+        """
+        if self.memtable.approximate_bytes + payload_bound >= self.config.memtable_bytes:
+            return False
+        if (
+            self.wal is not None
+            and self.wal.blocks_since(self._log_pos) + n_ops
+            > self.config.log_blocks // 2
+        ):
+            return False
+        return True
+
     def get(self, key: bytes) -> Optional[bytes]:
         found, value = self.memtable.get(key)
         if found:

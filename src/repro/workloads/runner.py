@@ -64,6 +64,7 @@ class WorkloadRunner:
         n_threads: int = 1,
         per_op_interval: float = 1.0 / 5000.0,
         hub=None,
+        batch_size: int = 1,
     ) -> None:
         """``per_op_interval`` is the simulated service time of one operation
         on one client thread (default 200µs, a plausible per-thread closed-
@@ -75,15 +76,27 @@ class WorkloadRunner:
         traffic/device counters are sampled once per round for the windowed
         WA series.  The hub only *observes* engine and device counters — it
         never touches the device or the clock, so running with a hub leaves
-        all measured results bit-identical."""
+        all measured results bit-identical.
+
+        ``batch_size`` > 1 opts into the engines' amortised batch API: runs
+        of consecutive PUTs (or READs) are coalesced into ``put_batch`` /
+        ``get_batch`` calls of up to ``batch_size`` operations.  Batches
+        never cross a round boundary, so the group-commit and clock cadence
+        is unchanged, and the batch paths are bit-identical to the single-op
+        sequence (proved by ``tests/test_differential.py``).  The default of
+        1 keeps the legacy per-op path.  Batching is incompatible with
+        per-op hub sampling, so it only engages when ``hub`` is None."""
         if n_threads < 1:
             raise ValueError("need at least one client thread")
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
         self.engine = engine
         self.device = device
         self.clock = clock
         self.n_threads = n_threads
         self.per_op_interval = per_op_interval
         self.hub = hub
+        self.batch_size = batch_size
 
     # ------------------------------------------------------------- phases
 
@@ -153,6 +166,20 @@ class WorkloadRunner:
         hub = self.hub
         if hub is not None:
             hub.sample(clock_before, traffic_before, self.device.stats)
+        if self.batch_size > 1 and hub is None:
+            self._run_batched(ops, n_ops, stats)
+        else:
+            self._run_per_op(ops, n_ops, stats)
+        if hub is not None:
+            hub.sample(self.clock.now, self.engine.traffic_snapshot(),
+                       self.device.stats)
+        stats.elapsed_seconds = self.clock.now - clock_before
+        stats.traffic = self.engine.traffic_snapshot().delta(traffic_before)
+        stats.device = self.device.stats.delta(device_before)
+        return stats
+
+    def _run_per_op(self, ops: Iterator[Op], n_ops: int, stats: PhaseStats) -> None:
+        hub = self.hub
         in_round = 0
         for _ in range(n_ops):
             op = next(ops)
@@ -178,13 +205,64 @@ class WorkloadRunner:
             self.engine.commit()
             self.clock.advance(self.per_op_interval)
             self.engine.tick()
-        if hub is not None:
-            hub.sample(self.clock.now, self.engine.traffic_snapshot(),
-                       self.device.stats)
-        stats.elapsed_seconds = self.clock.now - clock_before
-        stats.traffic = self.engine.traffic_snapshot().delta(traffic_before)
-        stats.device = self.device.stats.delta(device_before)
-        return stats
+
+    def _run_batched(self, ops: Iterator[Op], n_ops: int, stats: PhaseStats) -> None:
+        """Per-op loop with runs of consecutive PUTs/READs coalesced.
+
+        The round cadence (one ``commit``/``advance``/``tick`` per
+        ``n_threads`` ops) is byte-for-byte the per-op loop's — buffers are
+        flushed *before* every round boundary, so a batch never spans a
+        group commit or a clock tick, and the batch paths themselves are
+        bit-identical to the single-op sequence.
+        """
+        engine = self.engine
+        batch_size = self.batch_size
+        puts: list = []  # pending (key, value) pairs
+        reads: list = []  # pending keys
+
+        def drain() -> None:
+            if puts:
+                engine.put_batch(puts)
+                stats.puts += len(puts)
+                puts.clear()
+            if reads:
+                engine.get_batch(reads)
+                stats.reads += len(reads)
+                reads.clear()
+
+        in_round = 0
+        for _ in range(n_ops):
+            op = next(ops)
+            if op.kind == OpKind.PUT:
+                if reads:
+                    drain()
+                puts.append((op.key, op.value))
+                if len(puts) >= batch_size:
+                    drain()
+            elif op.kind == OpKind.READ:
+                if puts:
+                    drain()
+                reads.append(op.key)
+                if len(reads) >= batch_size:
+                    drain()
+            else:
+                drain()
+                got = engine.scan(op.key, op.scan_length)
+                stats.scans += 1
+                stats.records_scanned += len(got)
+            stats.ops += 1
+            in_round += 1
+            if in_round >= self.n_threads:
+                drain()
+                engine.commit()
+                self.clock.advance(self.per_op_interval)
+                engine.tick()
+                in_round = 0
+        if in_round:
+            drain()
+            engine.commit()
+            self.clock.advance(self.per_op_interval)
+            engine.tick()
 
     def _apply(self, op: Op, stats: PhaseStats) -> None:
         if op.kind == OpKind.PUT:

@@ -1,0 +1,46 @@
+"""Fixture: every way a borrowed scratch slab can escape its scope."""
+
+
+class Flusher:
+    def __init__(self, arena, device):
+        self.arena = arena
+        self.device = device
+        self.stash = None
+        self.retained = []
+
+    def leak_by_return(self):
+        slab = self.arena.borrow()
+        slab[0] = 1
+        return slab  # BUF007: caller receives a recyclable buffer
+
+    def leak_by_attribute(self):
+        slab = self.arena.borrow()
+        self.stash = slab  # BUF007: outlives the borrow/release bracket
+        self.arena.release(slab)
+
+    def leak_by_subscript(self, table, key):
+        slab = self.arena.borrow()
+        table[key] = slab  # BUF007: stored into a container
+        self.arena.release(slab)
+
+    def leak_by_append(self):
+        slab = self.arena.borrow()
+        self.retained.append(slab)  # BUF007: retainer method
+        self.arena.release(slab)
+
+    def leak_by_yield(self):
+        slab = self.arena.borrow()
+        yield slab  # BUF007: recycled when the generator resumes
+        self.arena.release(slab)
+
+    def clean_bracketed_flush(self, lba):
+        # The sanctioned shape: borrow/release bracket one operation, the
+        # slab only flows *down* the write path, and copies may escape.
+        slab = self.arena.borrow()
+        try:
+            slab[0] = 7
+            self.device.write_block(lba, slab)
+            snapshot = bytes(slab)
+        finally:
+            self.arena.release(slab)
+        return snapshot

@@ -21,10 +21,11 @@ from repro.analysis.framework import (
 )
 from repro.errors import ConfigError
 
-EXPECTED_RULE_IDS = ["DET001", "EXC004", "FLT003", "IOD002", "PAR005", "TRC006"]
+EXPECTED_RULE_IDS = ["BUF007", "DET001", "EXC004", "FLT003", "IOD002", "PAR005",
+                     "TRC006"]
 
 
-def test_registry_has_all_six_rules():
+def test_registry_has_all_expected_rules():
     assert rule_ids() == EXPECTED_RULE_IDS
 
 

@@ -1,6 +1,6 @@
 """Per-rule behaviour over the fixture files + the golden findings report.
 
-Each of the six rule ids must produce at least one fixture-triggered
+Each of the seven rule ids must produce at least one fixture-triggered
 finding (an acceptance criterion of the analysis subsystem), and the full
 fixture report is pinned as golden JSON.  Regenerate after intentional rule
 changes with::
@@ -118,6 +118,37 @@ def test_trc006_flags_unguarded_and_truthy_hooks():
     assert "truthiness" in findings[1].message
 
 
+# ------------------------------------------------------------------ BUF007
+
+
+def test_buf007_flags_every_escape_shape():
+    findings = fixture_findings("engine/buf007_bad.py", rules_only("BUF007"))
+    messages = " | ".join(f.message for f in findings)
+    assert len(findings) == 5
+    assert "returns borrowed slab" in messages
+    assert "yields borrowed slab" in messages
+    assert "stores borrowed slab" in messages
+    assert ".append(...)" in messages
+    assert "clean_bracketed_flush" not in messages
+
+
+def test_buf007_allows_downward_flow_and_copies():
+    source = (
+        "def flush(arena, device, lba):\n"
+        "    slab = arena.borrow()\n"
+        "    try:\n"
+        "        encode_into(slab, lba)\n"
+        "        device.write_block(lba, slab)\n"
+        "        out = bytes(slab)\n"
+        "    finally:\n"
+        "        arena.release(slab)\n"
+        "    return out\n"
+    )
+    from repro.analysis import analyze_source
+
+    assert analyze_source(source, "src/repro/core/x.py", rules_only("BUF007")) == []
+
+
 # ------------------------------------------------------- suppression fixture
 
 
@@ -150,6 +181,7 @@ def test_fixture_findings_match_golden():
 def test_every_rule_id_has_a_fixture_triggered_finding():
     payload = _relative_report()
     by_rule = payload["findings_by_rule"]
-    for rule_id in ("DET001", "IOD002", "FLT003", "EXC004", "PAR005", "TRC006"):
+    for rule_id in ("DET001", "IOD002", "FLT003", "EXC004", "PAR005", "TRC006",
+                    "BUF007"):
         assert by_rule.get(rule_id, 0) >= 1, f"no fixture finding for {rule_id}"
     assert by_rule.get(UNUSED_SUPPRESSION_ID, 0) >= 2

@@ -1,0 +1,137 @@
+"""ScratchArena behaviour + the write path's no-copy guarantees.
+
+The zero-copy work only holds if the copy count stays pinned: exactly one
+immutable snapshot per block write, taken at the device journal boundary
+and nowhere else.  These tests assert object *identity* through the write
+path, so an accidental re-introduced ``bytes(...)`` copy fails loudly.
+"""
+
+import pytest
+
+from repro.core.bminus import BMinusConfig, BMinusTree
+from repro.csd.arena import ScratchArena
+from repro.csd.device import BLOCK_SIZE, CompressedBlockDevice
+
+
+# --------------------------------------------------------------- ScratchArena
+
+
+def test_borrow_hands_out_zeroed_slab_of_slab_size():
+    arena = ScratchArena(128)
+    slab = arena.borrow()
+    assert isinstance(slab, bytearray)
+    assert len(slab) == 128
+    assert slab == bytes(128)
+
+
+def test_release_then_borrow_recycles_and_rezeroes():
+    arena = ScratchArena(64)
+    slab = arena.borrow()
+    slab[:] = b"\xff" * 64
+    arena.release(slab)
+    again = arena.borrow()
+    assert again is slab, "free-listed slab was not recycled"
+    assert again == bytes(64), "recycled slab was not re-zeroed"
+    assert arena.borrows == 2
+    assert arena.reuses == 1
+
+
+def test_release_rejects_wrong_size_slab():
+    arena = ScratchArena(64)
+    with pytest.raises(ValueError, match="does not match"):
+        arena.release(bytearray(65))
+
+
+def test_capacity_bounds_the_free_list():
+    arena = ScratchArena(16, capacity=2)
+    slabs = [arena.borrow() for _ in range(4)]
+    for slab in slabs:
+        arena.release(slab)
+    assert len(arena) == 2, "free list exceeded its capacity"
+
+
+def test_constructor_validates_arguments():
+    with pytest.raises(ValueError):
+        ScratchArena(0)
+    with pytest.raises(ValueError):
+        ScratchArena(16, capacity=0)
+
+
+# ----------------------------------------------------- device journal no-copy
+
+
+def test_write_block_journals_bytes_payload_by_identity():
+    """A `bytes` payload reaches the pending journal as the same object —
+    the device takes zero copies for already-immutable payloads."""
+    device = CompressedBlockDevice(num_blocks=64)
+    payload = bytes(range(256)) * 16
+    device.write_block(3, payload)
+    assert device._pending[3] is payload
+
+
+def test_write_block_snapshots_mutable_payload_once():
+    """A mutable slab is snapshotted exactly at the journal boundary, so
+    recycling the slab afterwards cannot corrupt journalled data."""
+    device = CompressedBlockDevice(num_blocks=64)
+    slab = bytearray(BLOCK_SIZE)
+    slab[:16] = b"A" * 16
+    device.write_block(5, slab)
+    journalled = device._pending[5]
+    assert journalled is not slab
+    assert isinstance(journalled, bytes)
+    slab[:16] = b"B" * 16  # recycle: must not reach the journal
+    assert journalled[:16] == b"A" * 16
+
+
+def test_write_blocks_journals_zero_copy_views():
+    """Multi-block writes journal memoryview chunks over the one payload
+    object — per-block copies would show as independent objects."""
+    device = CompressedBlockDevice(num_blocks=64)
+    payload = bytes(4 * BLOCK_SIZE)
+    device.write_blocks(8, payload)
+    for i in range(4):
+        chunk = device._pending[8 + i]
+        assert isinstance(chunk, memoryview)
+        assert chunk.obj is payload
+
+
+# -------------------------------------------------- engine write-path no-copy
+
+
+def test_wal_sealed_blocks_reach_journal_by_identity():
+    """A sealed WAL block image is snapshotted once (at sealing) and flows
+    to the device journal as that same object."""
+    from repro.btree.wal import LogOp, RedoLog
+
+    device = CompressedBlockDevice(num_blocks=256)
+    wal = RedoLog(device, start_block=1, num_blocks=16, sparse=True)
+    big = bytes(1500)
+    for i in range(4):  # several appends seal at least one block
+        wal.append_kv(i + 1, 1, LogOp.PUT, b"k%d" % i, big)
+    sealed = [image for _, image in wal._pending_full]
+    assert sealed, "workload never sealed a WAL block"
+    wal.flush()  # drains the device journal into stable storage
+    stable = {id(v) for v in device._stable.values()}
+    for image in sealed:
+        assert id(image) in stable, "sealed WAL image was re-copied"
+
+
+def test_delta_flushes_recycle_arena_slabs():
+    """Consecutive delta-block flushes reuse the pager's scratch slabs
+    instead of allocating fresh buffers."""
+    device = CompressedBlockDevice(num_blocks=400_000)
+    store = BMinusTree(device, BMinusConfig(log_flush_policy="commit"))
+    for i in range(300):
+        store.put(b"%08d" % i, bytes(64))
+    store.commit()
+    store.checkpoint()  # first flush: full page images
+    for round_ in range(3):
+        for i in range(0, 300, 7):
+            store.put(b"%08d" % i, bytes([round_ + 1]) * 64)
+        store.commit()
+        store.checkpoint()  # localized dirt: delta flushes
+    arena = store.pager._arena
+    assert arena.borrows > 3, "workload never took the delta-encode path"
+    assert arena.reuses >= arena.borrows - 1, (
+        f"slabs not recycled: {arena.borrows} borrows, {arena.reuses} reuses"
+    )

@@ -17,6 +17,7 @@ from repro.core.bminus import BMinusConfig, BMinusTree
 from repro.csd.device import CompressedBlockDevice
 from repro.errors import KeyNotFoundError
 from repro.lsm.engine import LSMConfig, LSMEngine
+from tests.fuzz import fuzz_settings, report_seed, seed_strategy
 
 
 def key(i: int) -> bytes:
@@ -158,6 +159,153 @@ def test_tracing_leaves_run_bit_identical(name):
     assert traced_device.stats == base_device.stats
     assert traced_device.physical_bytes_used == base_device.physical_bytes_used
     assert traced_engine.traffic_snapshot() == base_engine.traffic_snapshot()
+
+
+# --------------------------------------------------------------------------
+# Batch API vs single-op sequence: the PR-6 bit-identity guarantee.
+
+_BATCH_ENGINES = {
+    "bminus": lambda device: BMinusTree(
+        device, BMinusConfig(cache_bytes=1 << 16, max_pages=2048,
+                             log_blocks=512, log_flush_policy="commit")),
+    "lsm": lambda device: LSMEngine(
+        device, LSMConfig(memtable_bytes=8 << 10, level_base_bytes=32 << 10,
+                          table_target_bytes=8 << 10, log_blocks=1024,
+                          log_flush_policy="commit")),
+}
+
+
+def _assert_runs_identical(single, batched, label: str) -> None:
+    """Device bytes, device stats, WA counters, and FaultStats must match."""
+    s_device, s_engine = single
+    b_device, b_engine = batched
+    assert b_device._stable == s_device._stable, f"{label}: device bytes differ"
+    assert b_device.stats == s_device.stats, f"{label}: device stats differ"
+    assert b_device.physical_bytes_used == s_device.physical_bytes_used, label
+    assert b_engine.traffic_snapshot() == s_engine.traffic_snapshot(), (
+        f"{label}: WA counters differ"
+    )
+    s_faults = getattr(s_engine, "fault_stats", None)
+    if s_faults is not None:
+        assert b_engine.fault_stats == s_faults, f"{label}: fault stats differ"
+
+
+def _batch_items(rng: random.Random, n_ops: int, n_keys: int = 150):
+    return [
+        (key(rng.randrange(n_keys)), rng.randbytes(rng.randrange(16, 120)))
+        for _ in range(n_ops)
+    ]
+
+
+def _run_chunked(make_engine, chunks, batched: bool):
+    """Apply put chunks with one commit per chunk, per-op or through
+    ``put_batch`` — the group-commit cadence is identical either way."""
+    device = CompressedBlockDevice(num_blocks=150_000)
+    engine = make_engine(device)
+    for chunk in chunks:
+        if batched:
+            engine.put_batch(chunk)
+        else:
+            for k, v in chunk:
+                engine.put(k, v)
+        engine.commit()
+    device.flush()
+    return device, engine
+
+
+@pytest.mark.parametrize("name", sorted(_BATCH_ENGINES))
+def test_put_batch_bit_identical_to_single_puts(name):
+    """Mixed batch sizes, including batches large enough to span leaf
+    splits (B⁻-tree) and memtable flushes (LSM) mid-batch."""
+    make_engine = _BATCH_ENGINES[name]
+    rng = random.Random(2022)
+    items = _batch_items(rng, 1500)
+    chunks, i = [], 0
+    while i < len(items):
+        n = rng.choice((1, 2, 7, 64, 200))
+        chunks.append(items[i : i + n])
+        i += n
+    single = _run_chunked(make_engine, chunks, batched=False)
+    batched = _run_chunked(make_engine, chunks, batched=True)
+    _assert_runs_identical(single, batched, name)
+
+
+def test_put_batch_spans_leaf_splits():
+    """One large sequential batch forces several leaf splits inside a single
+    ``put_batch`` call (~70 records fill an 8KB leaf)."""
+    make_engine = _BATCH_ENGINES["bminus"]
+    items = [(key(i), bytes([i & 0xFF]) * 100) for i in range(600)]
+    single = _run_chunked(make_engine, [items], batched=False)
+    batched = _run_chunked(make_engine, [items], batched=True)
+    assert batched[1].pager._next_page_id > 8, (
+        "workload too small to split leaves mid-batch"
+    )
+    _assert_runs_identical(single, batched, "bminus/splits")
+
+
+def test_put_batch_spans_memtable_flushes():
+    """One batch whose payload exceeds the 8KB memtable several times over
+    must take the exact per-op fallback and stay bit-identical."""
+    make_engine = _BATCH_ENGINES["lsm"]
+    rng = random.Random(5)
+    items = [(key(i % 100), rng.randbytes(100)) for i in range(400)]
+    single = _run_chunked(make_engine, [items], batched=False)
+    batched = _run_chunked(make_engine, [items], batched=True)
+    assert batched[1].memtable_flushes > 2, (
+        "workload too small to flush the memtable mid-batch"
+    )
+    _assert_runs_identical(single, batched, "lsm/memtable-flush")
+
+
+@pytest.mark.parametrize("name", sorted(_BATCH_ENGINES))
+def test_get_and_delete_batch_bit_identical(name):
+    make_engine = _BATCH_ENGINES[name]
+    rng = random.Random(77)
+    items = _batch_items(rng, 600)
+    present = sorted({k for k, _ in items})
+    to_delete = present[: len(present) // 2]
+    reads = [key(rng.randrange(200)) for _ in range(300)]
+
+    def run(batched: bool):
+        device = CompressedBlockDevice(num_blocks=150_000)
+        engine = make_engine(device)
+        if batched:
+            engine.put_batch(items)
+            got = engine.get_batch(reads)
+            engine.delete_batch(to_delete)
+        else:
+            for k, v in items:
+                engine.put(k, v)
+            got = [engine.get(k) for k in reads]
+            for k in to_delete:
+                engine.delete(k)
+        engine.commit()
+        device.flush()
+        return device, engine, got
+
+    s_device, s_engine, s_got = run(batched=False)
+    b_device, b_engine, b_got = run(batched=True)
+    assert b_got == s_got, f"{name}: get_batch results differ"
+    _assert_runs_identical((s_device, s_engine), (b_device, b_engine), name)
+
+
+@fuzz_settings(max_examples=6, deadline=None)
+@given(seed=seed_strategy())
+def test_fuzz_batch_partitions_bit_identical(seed):
+    """Any random partition of any random op stream into batches leaves the
+    device bit-identical to the single-op run, for both engines."""
+    rng = random.Random(seed)
+    items = _batch_items(rng, rng.randrange(200, 800), n_keys=rng.randrange(50, 300))
+    chunks, i = [], 0
+    while i < len(items):
+        n = rng.randrange(1, 150)
+        chunks.append(items[i : i + n])
+        i += n
+    with report_seed(seed):
+        for name, make_engine in sorted(_BATCH_ENGINES.items()):
+            single = _run_chunked(make_engine, chunks, batched=False)
+            batched = _run_chunked(make_engine, chunks, batched=True)
+            _assert_runs_identical(single, batched, f"{name}/seed={seed}")
 
 
 def test_engines_agree_after_crash_and_recovery():
