@@ -10,6 +10,16 @@ counter.  ``repro faultcheck`` and the observability layer both read those
 counters; a healing path that forgets the increment makes a fault-injected
 run look healthier than it was — accounting drift that no behavioural test
 can distinguish from a genuinely clean run.
+
+PR 7 extends the same contract to the serving layer's graceful-degradation
+errors: a handler that absorbs a :class:`~repro.errors.ServiceOverloadError`,
+:class:`~repro.errors.DeadlineExceededError`, or
+:class:`~repro.errors.RetryExhaustedError` must bump a
+:class:`repro.service.stats.ServiceStats` counter or re-raise — the
+zero-silent-drops ledger (``ServiceStats.unaccounted() == 0``) only proves
+anything if no handler swallows a shed/expiry unrecorded.  ServiceStats
+counters also satisfy transient-fault handlers (the service's retry loop
+accounts device faults on its own ledger).
 """
 
 from __future__ import annotations
@@ -21,23 +31,37 @@ from typing import Iterable
 from repro.analysis.framework import FileContext, Finding, Rule, register
 from repro.analysis.rules._common import exception_names, root_name, walk_body
 from repro.metrics.faults import FaultStats
+from repro.service.stats import ServiceStats
 
 #: The transient fault family whose handlers must account or re-raise.
 TRANSIENT_EXCEPTIONS = frozenset({"TransientIOError", "TornWriteError"})
 
-#: Counter names, taken from the FaultStats dataclass itself so the rule
-#: tracks the schema without a hand-maintained list.
+#: The serving layer's typed graceful-degradation errors (same contract).
+SERVICE_EXCEPTIONS = frozenset(
+    {"ServiceOverloadError", "DeadlineExceededError", "RetryExhaustedError"}
+)
+
+#: Counter names, taken from the stats dataclasses themselves so the rule
+#: tracks the schemas without a hand-maintained list.
 FAULT_COUNTERS = frozenset(f.name for f in dataclass_fields(FaultStats))
+SERVICE_COUNTERS = frozenset(f.name for f in dataclass_fields(ServiceStats))
+
+#: Per-session outcome counters (repro.service.session.SessionStats) — a
+#: handler recording the outcome on the session's ledger also accounts.
+SESSION_COUNTERS = frozenset({"completed", "shed", "expired", "failed"})
+
+_ALL_COUNTERS = FAULT_COUNTERS | SERVICE_COUNTERS | SESSION_COUNTERS
+_STATS_ROOTS = ("fault_stats", "service_stats")
 
 
 def _is_counter_increment(node: ast.AugAssign) -> bool:
     target = node.target
     if not isinstance(target, ast.Attribute):
         return False
-    if target.attr in FAULT_COUNTERS:
+    if target.attr in _ALL_COUNTERS:
         return True
     root = root_name(target)
-    return root is not None and "fault_stats" in root
+    return root is not None and any(name in root for name in _STATS_ROOTS)
 
 
 def _handler_accounts(handler: ast.ExceptHandler) -> bool:
@@ -46,15 +70,15 @@ def _handler_accounts(handler: ast.ExceptHandler) -> bool:
             return True
         if isinstance(node, ast.AugAssign) and _is_counter_increment(node):
             return True
-        if isinstance(node, ast.Attribute) and "fault_stats" in (
-            root_name(node) or ""
+        if isinstance(node, ast.Attribute) and any(
+            name in (root_name(node) or "") for name in _STATS_ROOTS
         ):
             # e.g. delegating to a helper that takes the stats object.
             return True
         if isinstance(node, ast.Call):
             for arg in list(node.args) + [kw.value for kw in node.keywords]:
                 name = root_name(arg) if isinstance(arg, (ast.Name, ast.Attribute)) else None
-                if name is not None and "fault_stats" in name:
+                if name is not None and any(n in name for n in _STATS_ROOTS):
                     return True
     return False
 
@@ -62,11 +86,12 @@ def _handler_accounts(handler: ast.ExceptHandler) -> bool:
 @register
 class FaultAccounting(Rule):
     id = "FLT003"
-    title = "transient-fault handler without FaultStats accounting"
+    title = "fault/overload handler without stats accounting"
     severity = "error"
     invariant = (
-        "Every healed fault increments a FaultStats counter (or re-raises); "
-        "fault campaigns must see exactly what the device injected."
+        "Every healed fault or absorbed service error increments a "
+        "FaultStats/ServiceStats counter (or re-raises); fault campaigns and "
+        "the zero-silent-drops ledger must see exactly what happened."
     )
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
@@ -74,14 +99,21 @@ class FaultAccounting(Rule):
             if not isinstance(node, ast.ExceptHandler):
                 continue
             caught = [
-                name for name in exception_names(node) if name in TRANSIENT_EXCEPTIONS
+                name
+                for name in exception_names(node)
+                if name in TRANSIENT_EXCEPTIONS or name in SERVICE_EXCEPTIONS
             ]
             if not caught:
                 continue
             if not _handler_accounts(node):
+                ledger = (
+                    "ServiceStats"
+                    if all(name in SERVICE_EXCEPTIONS for name in caught)
+                    else "FaultStats/ServiceStats"
+                )
                 yield self.make(
                     ctx, node,
                     f"handler for {'/'.join(caught)} neither re-raises nor "
-                    f"increments a FaultStats counter; healed faults must be "
-                    f"accounted (see repro.metrics.faults)",
+                    f"increments a {ledger} counter; absorbed faults and "
+                    f"service errors must be accounted",
                 )

@@ -47,6 +47,7 @@ from repro.core.bminus import BMinusConfig, BMinusTree
 from repro.csd.device import BLOCK_SIZE, CompressedBlockDevice
 from repro.csd.faults import FaultInjectingDevice, FaultPlan, ScriptedFault
 from repro.errors import SimulatedCrashError
+from repro.lsm.engine import LSMConfig, LSMEngine
 
 #: Device span shared by every campaign configuration (all layouts fit).
 _DEVICE_BLOCKS = 4096
@@ -73,6 +74,16 @@ class SystemUnderTest:
     #: Which targeted-corruption phase applies: shadow-slot read-repair,
     #: journal-ring restore, or none (single-copy pagers).
     repair_style: str = "shadow"  # shadow | journal | none
+    #: Ops per commit window.  1 is the classic commit-per-op campaign;
+    #: > 1 drives the group-atomic protocol — a crash inside a window must
+    #: recover to the committed model (window rolled back) or the model plus
+    #: the *whole* window (COMMIT marker made it durable); any partial
+    #: window is a failure.
+    group_size: int = 1
+    #: Whether the probabilistic fault-trial phase applies.  Engines without
+    #: internal bounded retries (the LSM) surface transient faults to the
+    #: serving layer, whose retry path is exercised by the service tests.
+    fault_trials: bool = True
 
 
 def _btree_config(atomicity: str) -> BTreeConfig:
@@ -104,6 +115,33 @@ def _bminus_config() -> BMinusConfig:
     )
 
 
+#: Commit-window size the group-atomic SUTs are crash-tested at.
+_GROUP_SIZE = 4
+
+
+def _bminus_group_config() -> BMinusConfig:
+    config = _bminus_config()
+    config.group_atomic = True
+    # The group-atomic protocol is no-steal: a window's working set must fit
+    # the buffer pool or mid-window evictions persist uncommitted pages
+    # (counted as group_steal_flushes).  64 pages comfortably holds a
+    # 4-op window's dirty set.
+    config.cache_bytes = 64 * BLOCK_SIZE
+    return config
+
+
+def _lsm_group_config() -> LSMConfig:
+    return LSMConfig(
+        # A tiny memtable so the campaign workload crosses several
+        # freeze/flush handoffs while crash points fire.
+        memtable_bytes=8 * 1024,
+        log_blocks=_LOG_BLOCKS,
+        log_flush_policy="commit",
+        group_atomic=True,
+        max_frozen_memtables=2,
+    )
+
+
 def _make_suts() -> dict[str, SystemUnderTest]:
     def btree(atomicity: str, repair_style: str) -> SystemUnderTest:
         return SystemUnderTest(
@@ -123,6 +161,24 @@ def _make_suts() -> dict[str, SystemUnderTest]:
         "btree-det-shadow": btree("det-shadow", "shadow"),
         "btree-journal": btree("journal", "journal"),
         "btree-shadow-table": btree("shadow-table", "none"),
+        "bminus-group": SystemUnderTest(
+            name="bminus-group",
+            create=lambda dev: BMinusTree(dev, _bminus_group_config()),
+            reopen=lambda dev: BMinusTree.open(dev, _bminus_group_config()),
+            # The repair phases rely on cache-churn slot ping-pong, which the
+            # no-steal cache sizing deliberately suppresses; shadow repair is
+            # already covered by the per-op bminus SUT.
+            repair_style="none",
+            group_size=_GROUP_SIZE,
+        ),
+        "lsm-group": SystemUnderTest(
+            name="lsm-group",
+            create=lambda dev: LSMEngine(dev, _lsm_group_config()),
+            reopen=lambda dev: LSMEngine.open(dev, _lsm_group_config()),
+            repair_style="none",
+            group_size=_GROUP_SIZE,
+            fault_trials=False,
+        ),
     }
 
 
@@ -162,13 +218,25 @@ def _apply(model: dict, op: tuple[str, bytes, bytes]) -> None:
 
 
 def _run_workload(
-    engine, stream: list[tuple[str, bytes, bytes]], committed: dict
-) -> Optional[int]:
-    """Apply ``stream`` with one commit per op, tracking the committed model.
+    engine,
+    stream: list[tuple[str, bytes, bytes]],
+    committed: dict,
+    group_size: int = 1,
+) -> Optional[list[int]]:
+    """Apply ``stream`` with one commit per ``group_size`` ops.
 
-    Returns None on completion, or the index of the in-flight operation when
-    a scripted crash point fired mid-pipeline.
+    Tracks the committed model (updated only when a commit returns).
+    Returns None on completion, or the op indices of the in-flight commit
+    window a scripted crash point interrupted.
     """
+    inflight: list[int] = []
+
+    def commit_window() -> None:
+        engine.commit()
+        for i in inflight:
+            _apply(committed, stream[i])
+        inflight.clear()
+
     for index, op in enumerate(stream):
         kind, key, value = op
         try:
@@ -176,10 +244,19 @@ def _run_workload(
                 engine.put(key, value)
             else:
                 engine.delete(key)
-            engine.commit()
         except SimulatedCrashError:
-            return index
-        _apply(committed, op)
+            return inflight + [index]
+        inflight.append(index)
+        if len(inflight) >= group_size:
+            try:
+                commit_window()
+            except SimulatedCrashError:
+                return inflight
+    if inflight:
+        try:
+            commit_window()
+        except SimulatedCrashError:
+            return inflight
     return None
 
 
@@ -215,7 +292,7 @@ def _profile_mutations(sut: SystemUnderTest, stream) -> list[int]:
     )
     engine = sut.create(device)
     committed: dict = {}
-    crashed = _run_workload(engine, stream, committed)
+    crashed = _run_workload(engine, stream, committed, sut.group_size)
     assert crashed is None, "profiling run must not crash"
     return [
         index
@@ -252,14 +329,14 @@ def run_crash_schedule(
             inner = CompressedBlockDevice(_DEVICE_BLOCKS)
             device = FaultInjectingDevice(inner, plan)
             committed: dict = {}
-            inflight: Optional[int] = None
+            inflight: Optional[list[int]] = None
             try:
                 engine = sut.create(device)
             except SimulatedCrashError:
                 # Crash during store genesis: recovery must come up empty.
                 pass
             else:
-                inflight = _run_workload(engine, stream, committed)
+                inflight = _run_workload(engine, stream, committed, sut.group_size)
                 if inflight is None:
                     # The sampled boundary was never reached (e.g. a
                     # profiling mutation past the last commit).
@@ -267,16 +344,20 @@ def run_crash_schedule(
             report.crashes_fired += 1
             recovered = sut.reopen(inner)  # recovery itself runs fault-free
             state = _state(recovered)
+            # Either the interrupted window rolled back entirely, or (its
+            # COMMIT marker having reached the device) it replays entirely;
+            # a partially-applied window matches neither and fails.
             acceptable = [dict(committed)]
             with_inflight = dict(committed)
-            if inflight is not None:
-                _apply(with_inflight, stream[inflight])
+            if inflight:
+                for i in inflight:
+                    _apply(with_inflight, stream[i])
                 acceptable.append(with_inflight)
             if state not in acceptable:
                 report.failures.append({
                     "mode": mode,
                     "op_index": point,
-                    "inflight_op": inflight,
+                    "inflight_ops": inflight,
                     "missing": sorted(
                         k.decode() for k in set(committed) - set(state)
                     )[:5],
@@ -335,7 +416,7 @@ def run_fault_trials(
         engine = sut.create(device)
         committed: dict = {}
         try:
-            crashed = _run_workload(engine, stream, committed)
+            crashed = _run_workload(engine, stream, committed, sut.group_size)
             assert crashed is None
             state = _state(engine)
             lookups_ok = all(engine.get(k) == v for k, v in committed.items())
@@ -571,7 +652,10 @@ def run_faultcheck(
     for name in names:
         sut = suts[name]
         crash = run_crash_schedule(sut, stream, seed, budget)
-        trials_report = run_fault_trials(sut, stream, seed, trials)
+        if sut.fault_trials:
+            trials_report = run_fault_trials(sut, stream, seed, trials)
+        else:
+            trials_report = FaultTrialReport()
         repair = run_repair_campaign(sut, stream, seed)
         entry = {
             "crash_points": crash.as_dict(),

@@ -271,6 +271,89 @@ def bench_batched_ops(
     }
 
 
+def bench_serving(scale: float = 1.0) -> Dict[str, object]:
+    """Serving-layer resilience figures (PR 7's tentpole).
+
+    Drives two deterministic :class:`~repro.service.StorageService`
+    scenarios and records the client-visible resilience metrics:
+
+    * **contention** — B⁻-tree under ~2x offered load with a short queue and
+      tight deadlines, so admission control and deadline expiry both engage;
+    * **stall** — LSM with a tiny memtable and slow flushes, so the
+      frozen-memtable write-stall machine engages.
+
+    Everything here runs on the simulated clock, so the fairness spread,
+    tail latencies, and ledger counters are bit-reproducible across hosts —
+    ``--check`` gates them for exact drift, plus the hard zero-silent-drops
+    invariant (``unaccounted == 0``).  Wall-clock seconds ride along for the
+    trajectory only.
+    """
+    from repro.core.bminus import BMinusConfig, BMinusTree
+    from repro.lsm.engine import LSMConfig, LSMEngine
+    from repro.service import ServiceConfig, StorageService, make_sessions
+    from repro.sim.clock import SimClock
+    from repro.workloads.records import KeySpace
+
+    n_ops = max(30, int(60 * scale))
+
+    def scenario(name: str) -> Dict[str, object]:
+        clock = SimClock()
+        device = CompressedBlockDevice(num_blocks=1 << 15)
+        if name == "contention":
+            engine = BMinusTree(
+                device,
+                BMinusConfig(log_flush_policy="commit", group_atomic=True,
+                             cache_bytes=256 * 4096, max_pages=4096),
+                clock,
+            )
+            config = ServiceConfig(queue_depth=16, commit_window=8,
+                                   deadline=0.01)
+            arrival = config.commit_window * config.per_op_interval / 48
+        else:
+            engine = LSMEngine(
+                device,
+                LSMConfig(memtable_bytes=4 * 1024, log_flush_policy="commit",
+                          group_atomic=True, flush_latency=0.01,
+                          max_frozen_memtables=1),
+                clock,
+            )
+            # Deadline shorter than a flush-latency stall: ops queued behind
+            # a stall expire, exercising the deadline path alongside it.
+            config = ServiceConfig(queue_depth=64, commit_window=8,
+                                   deadline=0.008)
+            arrival = 0.001
+        service = StorageService(engine, clock, config,
+                                 rng=DeterministicRng(7))
+        sessions = make_sessions(24, n_ops, KeySpace(8000, 128),
+                                 DeterministicRng(2022), arrival)
+        start = time.perf_counter()
+        report = service.serve(sessions)
+        seconds = time.perf_counter() - start
+        engine.close()
+        stats = report.stats
+        put = report.latency.get("put", {})
+        return {
+            "seconds": round(seconds, 3),
+            "completed": stats.completed,
+            "shed_overload": stats.shed_overload,
+            "deadline_expired": stats.deadline_expired,
+            "write_stalls": stats.write_stalls,
+            "stall_seconds": round(stats.stall_seconds, 6),
+            "unaccounted": stats.unaccounted(),
+            "fairness_spread": round(report.fairness, 6),
+            "p99_put_us": round(put.get("p99", 0.0) * 1e6, 2),
+            "p999_put_us": round(put.get("p999", 0.0) * 1e6, 2),
+            "throughput_sim_ops_per_s": round(report.throughput, 1),
+        }
+
+    return {
+        "sessions": 24,
+        "ops_per_session": n_ops,
+        "contention": scenario("contention"),
+        "stall": scenario("stall"),
+    }
+
+
 def bench_trace_overhead(scale: float = 1.0) -> Dict[str, object]:
     """Wall-clock cost of running with the event tracer + metrics hub on.
 
@@ -332,6 +415,7 @@ def measure(jobs: int = 4, scale: float = 1.0, writes: int = 6000) -> Dict:
         "figure_run": bench_figure_run(jobs=jobs, scale=scale),
         "end_to_end": bench_end_to_end(scale=scale),
         "batched_ops": bench_batched_ops(scale=scale),
+        "serving": bench_serving(scale=scale),
         "trace_overhead": bench_trace_overhead(scale=scale),
     }
     # The PR-6 acceptance figure: batched B⁻-tree puts vs the per-op
@@ -411,6 +495,32 @@ def check(report: Dict, baseline: Dict, tolerance: float = 0.2) -> list:
                 f"batched puts at {batched['speedup_vs_end_to_end']:.2f}x the "
                 f"end-to-end rate, below the {BATCHED_OPS_FLOOR:.0f}x floor"
             )
+    serving = report.get("serving")
+    if serving is not None:
+        for name in ("contention", "stall"):
+            run = serving[name]
+            # The serving simulation is deterministic: a drop is a bug, not
+            # noise, so the ledger gate is exact and unconditional.
+            if run["unaccounted"] != 0:
+                failures.append(
+                    f"serving[{name}]: {run['unaccounted']} ops unaccounted "
+                    f"(silent drop — the ledger must close)"
+                )
+        if "serving" in baseline:
+            # Everything measured on the simulated clock is bit-reproducible
+            # across hosts; any drift from the committed figures is a real
+            # behaviour change, not measurement noise.
+            for name in ("contention", "stall"):
+                for key in ("completed", "shed_overload", "deadline_expired",
+                            "write_stalls", "fairness_spread",
+                            "p99_put_us", "p999_put_us"):
+                    measured = report["serving"][name][key]
+                    expected = baseline["serving"][name][key]
+                    if measured != expected:
+                        failures.append(
+                            f"serving[{name}].{key}: measured {measured} != "
+                            f"baseline {expected} (deterministic figure drifted)"
+                        )
     return failures
 
 

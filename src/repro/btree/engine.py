@@ -36,7 +36,13 @@ from repro.btree.pager import (
     make_pager,
 )
 from repro.btree.tree import BTree
-from repro.btree.wal import LogOp, LogPosition, LogRecord, RedoLog
+from repro.btree.wal import (
+    LogOp,
+    LogPosition,
+    LogRecord,
+    RedoLog,
+    split_complete_groups,
+)
 from repro.csd.device import BLOCK_SIZE, BlockDevice
 from repro.csd.faults import read_block_retrying, write_block_retrying
 from repro.errors import ConfigError, KeyNotFoundError, RecoveryError
@@ -68,6 +74,12 @@ class BTreeConfig:
     checkpoint_interval: float = 60.0
     max_pages: int = 1 << 16
     log_blocks: int = 4096
+    #: Group-atomic commit windows: every :meth:`BTreeEngine.commit` seals the
+    #: window with a ``LogOp.COMMIT`` marker and recovery replays only
+    #: marker-terminated windows, so an interrupted window rolls back whole
+    #: instead of surfacing a partial prefix.  Requires a WAL flushed at
+    #: commit (the marker must become durable with its window).
+    group_atomic: bool = False
 
     def validate(self) -> None:
         if self.page_size % BLOCK_SIZE != 0 or self.page_size < BLOCK_SIZE:
@@ -78,6 +90,12 @@ class BTreeConfig:
             raise ConfigError(f"unknown log_flush_policy {self.log_flush_policy!r}")
         if self.cache_bytes <= 0 or self.max_pages <= 0 or self.log_blocks < 2:
             raise ConfigError("cache_bytes/max_pages/log_blocks out of range")
+        if self.group_atomic and (
+            self.wal_mode == "none" or self.log_flush_policy != "commit"
+        ):
+            raise ConfigError(
+                "group_atomic requires a WAL with log_flush_policy='commit'"
+            )
 
 
 class BTreeEngine:
@@ -118,6 +136,15 @@ class BTreeEngine:
         self._lsn = 0
         self._txid = 0
         self._replaying = False
+        #: Ops appended since the last COMMIT marker (group_atomic mode).
+        self._group_dirty = False
+        #: Root-id change awaiting the group boundary (group_atomic mode).
+        self._root_persist_pending = False
+        #: Dirty-page flushes forced mid-window (evictions under cache
+        #: pressure).  Group atomicity assumes a no-steal window — the
+        #: commit window's working set fits the buffer pool — so a nonzero
+        #: count flags a configuration that weakens the rollback guarantee.
+        self.group_steal_flushes = 0
         self._fault_stats = FaultStats()  # engine-level (meta page) counters
         self.user_bytes = 0
         self.operations = 0
@@ -159,6 +186,10 @@ class BTreeEngine:
     def close(self) -> None:
         """Flush everything and persist a clean checkpoint."""
         if self.wal is not None:
+            if self.config.group_atomic and self._group_dirty:
+                # A clean shutdown acknowledges the open window: seal it so
+                # recovery replays it instead of rolling it back.
+                self._seal_group()
             self.wal.flush()
         self.checkpoint()
 
@@ -172,6 +203,7 @@ class BTreeEngine:
         self.tree.put(key, value)
         self.user_bytes += len(key) + len(value)
         self.operations += 1
+        self._group_dirty = True
         self._checkpoint_if_log_pressure()
 
     def get(self, key: bytes) -> Optional[bytes]:
@@ -184,6 +216,7 @@ class BTreeEngine:
         self.tree.delete(key)
         self.user_bytes += len(key)
         self.operations += 1
+        self._group_dirty = True
         self._checkpoint_if_log_pressure()
 
     def scan(self, start_key: bytes, count: int) -> list[tuple[bytes, bytes]]:
@@ -228,6 +261,7 @@ class BTreeEngine:
         self.tree.put_batch(items)
         self.user_bytes += sum(len(key) + len(value) for key, value in items)
         self.operations += len(items)
+        self._group_dirty = True
         self._checkpoint_if_log_pressure()
 
     def get_batch(self, keys: list[bytes]) -> list[Optional[bytes]]:
@@ -267,6 +301,7 @@ class BTreeEngine:
         self.tree.delete_batch(keys)
         self.user_bytes += sum(len(key) for key in keys)
         self.operations += len(keys)
+        self._group_dirty = True
         self._checkpoint_if_log_pressure()
 
     def items(self) -> Iterator[tuple[bytes, bytes]]:
@@ -282,9 +317,43 @@ class BTreeEngine:
         commits, which is how group commit batches transactions).
         """
         self._txid += 1
+        if self.wal is not None and self.config.group_atomic and self._group_dirty:
+            self._seal_group()
         if self.wal is not None and self.config.log_flush_policy == "commit":
             self.wal.flush()
+        if self.config.group_atomic and self._root_persist_pending:
+            # Deferred from _on_root_change: the marker is durable now, so
+            # persisting pages/meta can no longer leak an unacknowledged
+            # window past a crash.
+            self._persist_root()
         self._checkpoint_if_log_pressure()
+
+    def _seal_group(self) -> None:
+        """Append the COMMIT marker that makes the open window replayable."""
+        assert self.wal is not None
+        self.wal.append(
+            LogRecord(self._next_lsn(), self._txid, LogOp.COMMIT, b"", b"")
+        )
+        self._group_dirty = False
+
+    @property
+    def write_stalled(self) -> bool:
+        """True while the engine cannot absorb more writes without first
+        doing recovery-critical background work (WAL ring nearly wrapped
+        over the last checkpoint).  The serving layer polls this to drive
+        its backpressure state machine; relief is a checkpoint, which
+        :meth:`tick` performs at the next group boundary."""
+        if self.wal is None:
+            return False
+        return (
+            self.wal.blocks_since(self._checkpoint_pos)
+            > (3 * self.config.log_blocks) // 4
+        )
+
+    def stall_relief_at(self) -> float:
+        """Simulated time at which stall-relief work can run (now: the
+        B-tree checkpoints synchronously at the next boundary tick)."""
+        return self.clock.now
 
     def tick(self) -> None:
         """Run clock-driven background work (periodic log flush, checkpoint).
@@ -299,7 +368,8 @@ class BTreeEngine:
             self.wal.flush()
             self.clock.set_alarm("log_flush", self.config.log_flush_interval)
         if self.clock.alarm_due("checkpoint"):
-            self.checkpoint()
+            if not (self.config.group_atomic and self._group_dirty):
+                self.checkpoint()
         else:
             self._checkpoint_if_log_pressure()
 
@@ -308,7 +378,16 @@ class BTreeEngine:
 
         Without this, replay after a crash could find its start position
         overwritten.  Triggering at half the ring leaves ample headroom.
+
+        In group-atomic mode a checkpoint never runs while a window is open:
+        it would flush the window's pages and advance the replay cursor past
+        its records, making the unacknowledged window durable without its
+        marker.  Pressure is re-checked at the commit boundary instead, so a
+        window must stay well under half the ring (the serving layer's
+        bounded commit windows do by orders of magnitude).
         """
+        if self.config.group_atomic and self._group_dirty:
+            return
         if (
             self.wal is not None
             and self.wal.blocks_since(self._checkpoint_pos) > self.config.log_blocks // 2
@@ -327,6 +406,7 @@ class BTreeEngine:
         self.pager.apply_deferred_frees()
         if self.wal is not None:
             self._checkpoint_pos = self.wal.position()
+        self._root_persist_pending = False
         self._write_meta()
         self.clock.set_alarm("checkpoint", self.config.checkpoint_interval)
 
@@ -338,7 +418,19 @@ class BTreeEngine:
         above it at a crash.  Flushing the new root first (which, through the
         dependency rules, flushes its never-written children) keeps the meta
         pointer valid at every instant.
+
+        Group-atomic mode defers the persist to the commit boundary: writing
+        the new root mid-window would make part of an unacknowledged window
+        durable, and the *old* meta/root pair stays valid in the meantime
+        because replay-from-checkpoint rebuilds the split in memory.
         """
+        if self.config.group_atomic:
+            self._root_persist_pending = True
+            return
+        self._persist_root()
+
+    def _persist_root(self) -> None:
+        self._root_persist_pending = False
         root_id = self.tree.root_id
         if root_id in self.pool:
             self.pool.flush_page(root_id)
@@ -425,6 +517,14 @@ class BTreeEngine:
         self._rebuild_allocator(meta)
         if self.wal is not None:
             records, end = self.wal.scan(meta["log_pos"])
+            if self.config.group_atomic:
+                # Roll back the in-flight window: replay only the prefix
+                # sealed by a COMMIT marker.  The checkpoint below advances
+                # the replay cursor past the discarded tail, so a second
+                # crash can never resurrect it.
+                records, discarded = split_complete_groups(records)
+                if discarded:
+                    self._fault_stats.group_rollbacks += 1
             self._replaying = True
             try:
                 for record in records:
@@ -528,6 +628,12 @@ class BTreeEngine:
         page_id = page.page_id
         if page_id in self._flushing:
             raise RecoveryError(f"re-entrant flush of page {page_id}")
+        if self.config.group_atomic and self._group_dirty:
+            # A mid-window flush can only be an eviction under cache
+            # pressure; it may persist part of the unacknowledged window
+            # (a stolen page).  Counted so tests and the serving layer can
+            # assert the no-steal sizing assumption held.
+            self.group_steal_flushes += 1
         self._flushing.add(page_id)
         try:
             if page_id not in self.pager.never_flushed:

@@ -377,3 +377,28 @@ class RedoLog:
         self._used = _BLOCK_HDR.size
         self._block_written_once = False
         self._flushed_used = self._used
+
+
+def split_complete_groups(
+    records: list[LogRecord],
+) -> tuple[list[LogRecord], int]:
+    """Split a scanned record stream at the last durable group boundary.
+
+    Group-atomic engines (``config.group_atomic``) terminate every commit
+    window with a :attr:`LogOp.COMMIT` marker.  A marker is appended *after*
+    the window's records, so a durable marker proves the whole window is
+    durable; records past the last marker belong to a window that was never
+    acknowledged and must be rolled back, not replayed.
+
+    Returns ``(replayable, discarded)``: the prefix up to and including the
+    last COMMIT marker (recovery replays it; markers themselves are ignored
+    by the replay loops), and the count of trailing unmarked records that the
+    caller must discard.  With no marker anywhere the whole scan is the
+    in-flight window and nothing replays.
+    """
+    last_marker = -1
+    for index, record in enumerate(records):
+        if record.op == LogOp.COMMIT:
+            last_marker = index
+    replayable = records[: last_marker + 1]
+    return replayable, len(records) - (last_marker + 1)

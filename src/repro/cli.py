@@ -300,6 +300,121 @@ def cmd_faultcheck(args: argparse.Namespace) -> int:
     return 0 if report["passed"] else 1
 
 
+def cmd_serve_sim(args: argparse.Namespace) -> int:
+    """``repro serve-sim``: the multi-client serving-layer simulation.
+
+    Serves ``--sessions`` open-loop client sessions over one group-atomic
+    engine through the :class:`~repro.service.StorageService` front-end
+    (group commit, admission control, deadlines, bounded retry) and prints
+    the resilience report: throughput, per-kind p50/p99/p999 client latency,
+    fairness spread, and the full zero-silent-drops ledger.  ``--overload``
+    presets an offered load well past the service capacity so the shed /
+    deadline-expiry paths engage.  Exit code 0 requires a closed ledger
+    (``unaccounted == 0``); anything else is a silent drop and exits 1.
+    """
+    import json as _json
+
+    from repro.obs.metrics import MetricsHub
+    from repro.service import ServiceConfig, StorageService, make_sessions
+    from repro.sim.clock import SimClock
+    from repro.sim.rng import DeterministicRng
+    from repro.workloads.records import KeySpace
+
+    clock = SimClock()
+    device, engine = _build_serve_engine(args.system, clock)
+    if args.overload:
+        # Offered load ~4x the commit-window service capacity, with a short
+        # queue and tight deadlines: every degradation path engages.
+        queue_depth = min(args.queue_depth, 16)
+        arrival = args.commit_window * args.per_op_interval / (4 * args.sessions)
+        deadline = 8 * args.per_op_interval
+    else:
+        queue_depth = args.queue_depth
+        arrival = args.arrival_interval
+        deadline = args.deadline
+    config = ServiceConfig(
+        queue_depth=queue_depth,
+        commit_window=args.commit_window,
+        per_op_interval=args.per_op_interval,
+        deadline=deadline,
+    )
+    hub = MetricsHub(window_seconds=args.window)
+    service = StorageService(
+        engine, clock, config, rng=DeterministicRng(args.seed), hub=hub)
+    sessions = make_sessions(
+        args.sessions, args.ops, KeySpace(args.records, args.record_size),
+        DeterministicRng(args.seed), arrival,
+        write_fraction=args.write_fraction,
+    )
+    report = service.serve(sessions)
+    engine.close()
+
+    if args.json:
+        payload = report.to_dict()
+        payload["obs"] = hub.summary()
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        stats = report.stats
+        lat_rows = [
+            [kind, d["n"]] + [f"{d[q] * 1e6:.1f}"
+                              for q in ("p50", "p99", "p999", "max")]
+            for kind, d in report.latency.items()
+        ]
+        print(format_table(
+            f"Client-visible latency (us): {args.system}, "
+            f"{report.n_sessions} sessions",
+            ["op", "n", "p50", "p99", "p999", "max"], lat_rows,
+            note="queueing + service time on the simulated clock",
+        ))
+        ledger = stats.as_dict()
+        print(format_table(
+            f"Serving ledger ({report.elapsed_seconds:.2f}s simulated, "
+            f"{report.throughput:,.0f} acknowledged ops/s)",
+            ["counter", "value"],
+            [[name, value] for name, value in ledger.items()],
+            note=f"fairness spread {report.fairness:.3f} "
+                 f"(per-session completions {min(report.per_session_completed)}"
+                 f"..{max(report.per_session_completed)})",
+        ))
+    return 0 if report.stats.unaccounted() == 0 else 1
+
+
+def _build_serve_engine(system: str, clock):
+    """One group-atomic engine + device for ``repro serve-sim``."""
+    from repro.btree.engine import BTreeConfig, BTreeEngine
+    from repro.core.bminus import BMinusConfig, BMinusTree
+    from repro.csd.device import CompressedBlockDevice
+    from repro.lsm.engine import LSMConfig, LSMEngine
+
+    device = CompressedBlockDevice(num_blocks=1 << 15)
+    if system == "lsm":
+        engine = LSMEngine(
+            device,
+            LSMConfig(log_flush_policy="commit", group_atomic=True),
+            clock,
+        )
+    elif system == "btree":
+        engine = BTreeEngine(
+            device,
+            BTreeConfig(
+                atomicity="det-shadow", wal_mode="packed",
+                log_flush_policy="commit", group_atomic=True,
+                cache_bytes=256 * 4096, max_pages=4096,
+            ),
+            clock,
+        )
+    else:
+        engine = BMinusTree(
+            device,
+            BMinusConfig(
+                log_flush_policy="commit", group_atomic=True,
+                cache_bytes=256 * 4096, max_pages=4096,
+            ),
+            clock,
+        )
+    return device, engine
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """``repro lint``: the repo's invariant linter (see repro.analysis).
 
@@ -397,7 +512,8 @@ def build_parser() -> argparse.ArgumentParser:
         "faultcheck",
         help="systematic crash-point and fault-injection campaign")
     flt_p.add_argument("--systems", default="bminus,btree-det-shadow,"
-                       "btree-journal,btree-shadow-table",
+                       "btree-journal,btree-shadow-table,"
+                       "bminus-group,lsm-group",
                        help="comma-separated system list (see "
                             "repro.bench.faultcheck.FAULTCHECK_SYSTEMS)")
     flt_p.add_argument("--ops", type=int, default=200,
@@ -410,6 +526,41 @@ def build_parser() -> argparse.ArgumentParser:
     flt_p.add_argument("--json", action="store_true",
                        help="emit the full JSON report instead of a summary")
     flt_p.set_defaults(func=cmd_faultcheck)
+
+    srv_p = sub.add_parser(
+        "serve-sim",
+        help="multi-client serving simulation (group commit + admission "
+             "control + deadlines)")
+    srv_p.add_argument("--system", choices=("bminus", "btree", "lsm"),
+                       default="bminus")
+    srv_p.add_argument("--sessions", type=int, default=64,
+                       help="simulated open-loop client sessions")
+    srv_p.add_argument("--ops", type=int, default=50,
+                       help="operations submitted per session")
+    srv_p.add_argument("--records", type=int, default=20_000,
+                       help="key-space size (number of records)")
+    srv_p.add_argument("--record-size", type=int, default=128)
+    srv_p.add_argument("--write-fraction", type=float, default=0.8)
+    srv_p.add_argument("--arrival-interval", type=float, default=0.01,
+                       help="seconds between one session's submissions")
+    srv_p.add_argument("--queue-depth", type=int, default=64,
+                       help="bounded submission queue (admission control)")
+    srv_p.add_argument("--commit-window", type=int, default=8,
+                       help="max ops coalesced per group commit")
+    srv_p.add_argument("--per-op-interval", type=float, default=1.0 / 5000.0,
+                       help="simulated service time of one commit window")
+    srv_p.add_argument("--deadline", type=float, default=0.1,
+                       help="per-op deadline from arrival, in seconds")
+    srv_p.add_argument("--window", type=float, default=0.5,
+                       help="obs window width in simulated seconds")
+    srv_p.add_argument("--overload", action="store_true",
+                       help="preset an offered load ~4x service capacity "
+                            "(exercises shed/expiry paths)")
+    srv_p.add_argument("--seed", type=int, default=2022)
+    srv_p.add_argument("--json", action="store_true",
+                       help="emit the full JSON report (stats + latency + "
+                            "obs windows)")
+    srv_p.set_defaults(func=cmd_serve_sim)
 
     lnt_p = sub.add_parser(
         "lint", help="run the repo's AST invariant linter (repro.analysis)")

@@ -53,6 +53,9 @@ class BMinusConfig:
     checkpoint_interval: float = 60.0
     max_pages: int = 1 << 16
     log_blocks: int = 4096
+    #: Group-atomic commit windows (serving-layer group commit); see
+    #: :class:`repro.btree.engine.BTreeConfig.group_atomic`.
+    group_atomic: bool = False
 
     def to_btree_config(self) -> BTreeConfig:
         return BTreeConfig(
@@ -65,6 +68,7 @@ class BMinusConfig:
             checkpoint_interval=self.checkpoint_interval,
             max_pages=self.max_pages,
             log_blocks=self.log_blocks,
+            group_atomic=self.group_atomic,
         )
 
 
@@ -167,6 +171,19 @@ class BMinusTree:
     @property
     def clock(self) -> SimClock:
         return self.engine.clock
+
+    @property
+    def device(self) -> BlockDevice:
+        return self.engine.device
+
+    @property
+    def write_stalled(self) -> bool:
+        """True while writes should back off (see BTreeEngine.write_stalled)."""
+        return self.engine.write_stalled
+
+    def stall_relief_at(self) -> float:
+        """Simulated time at which stall-relief work can run."""
+        return self.engine.stall_relief_at()
 
     @property
     def fault_stats(self) -> FaultStats:

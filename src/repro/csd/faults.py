@@ -90,6 +90,11 @@ class ScriptedFault:
     lba: Optional[int] = None
     #: Crash mode for ``crash`` (see :data:`CRASH_MODES`).
     mode: str = "drop"
+    #: Fire at this many *consecutive* operation indices starting at
+    #: ``op_index``.  A run longer than the consumers' bounded retry budget
+    #: (:data:`RETRY_ATTEMPTS`) is how tests force a transient fault past the
+    #: engine's internal retries and up to the serving layer.
+    repeat: int = 1
 
 
 @dataclass
@@ -141,6 +146,8 @@ class FaultPlan:
                 )
             if fault.op_index < 0:
                 raise FaultInjectionError("scripted op_index must be >= 0")
+            if fault.repeat < 1:
+                raise FaultInjectionError("scripted repeat must be >= 1")
             if fault.kind == "corrupt" and fault.lba is None:
                 raise FaultInjectionError("scripted 'corrupt' fault needs an lba")
             if fault.kind == "crash" and fault.mode not in CRASH_MODES:
@@ -215,7 +222,9 @@ class FaultInjectingDevice:
         self._op_index = 0
         self._budget = plan.max_faults
         self._scripted: dict[int, ScriptedFault] = {
-            fault.op_index: fault for fault in plan.scripted
+            fault.op_index + offset: fault
+            for fault in plan.scripted
+            for offset in range(fault.repeat)
         }
         #: Operation trace ``(kind, lba, count)`` when ``record_ops`` is set;
         #: the crash-point scheduler profiles a run through this.

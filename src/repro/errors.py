@@ -111,3 +111,34 @@ class CompactionError(LsmError):
 
 class ConfigError(ReproError):
     """An engine or experiment was configured with invalid parameters."""
+
+
+class ServiceError(ReproError):
+    """Base class for serving-layer (multi-client front-end) failures."""
+
+
+class ServiceOverloadError(ServiceError):
+    """An operation was shed by admission control (submission queue full).
+
+    Graceful-degradation signal: the op was rejected *before* touching the
+    engine, so no partial state exists; the client may back off and resubmit.
+    Every shed is counted on :class:`repro.service.ServiceStats` — the
+    serving layer never drops work silently.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """An admitted operation expired in queue before its commit window.
+
+    The op was never applied to the engine (deadlines are checked before
+    execution), so expiry is exact-once: either a result or this error.
+    """
+
+
+class RetryExhaustedError(ServiceError):
+    """Transient faults persisted past the service's bounded retry budget.
+
+    The engine's own bounded retries (``csd.faults.RETRY_ATTEMPTS``) were
+    exhausted on every service-level attempt; the op's effect is not
+    acknowledged and the failure is counted, never swallowed.
+    """

@@ -23,7 +23,13 @@ import heapq
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-from repro.btree.wal import LogOp, LogPosition, LogRecord, RedoLog
+from repro.btree.wal import (
+    LogOp,
+    LogPosition,
+    LogRecord,
+    RedoLog,
+    split_complete_groups,
+)
 from repro.csd.device import BlockDevice
 from repro.errors import ConfigError, KeyNotFoundError, LsmError
 from repro.lsm.compaction import merge_tables, write_merged
@@ -32,7 +38,7 @@ from repro.lsm.memtable import MemTable
 from repro.lsm.sstable import ExtentAllocator, SSTableReader, SSTableWriter
 from repro.lsm.version import VersionSet
 from repro.metrics.counters import TrafficSnapshot
-from repro.obs.trace import maybe_span
+from repro.obs.trace import maybe_instant, maybe_span
 from repro.sim.clock import SimClock
 
 
@@ -53,6 +59,17 @@ class LSMConfig:
     log_flush_interval: float = 60.0
     log_blocks: int = 4096
     manifest_blocks: int = 8  # per copy
+    #: Group-atomic commit windows (see :class:`repro.btree.engine.BTreeConfig`
+    #: for the protocol): commits seal a COMMIT marker, recovery replays only
+    #: marker-terminated windows, and the memtable-flush decision moves from
+    #: per-op to the commit boundary with a frozen-memtable handoff.
+    group_atomic: bool = False
+    #: Simulated seconds between freezing a full memtable and its background
+    #: flush becoming due (RocksDB's immutable-memtable flush latency); the
+    #: interval during which a second full memtable causes a write stall.
+    flush_latency: float = 0.0
+    #: Frozen memtables tolerated before writes stall (group_atomic mode).
+    max_frozen_memtables: int = 2
 
     def validate(self) -> None:
         if self.memtable_bytes <= 0 or self.table_target_bytes <= 0:
@@ -65,6 +82,14 @@ class LSMConfig:
             raise ConfigError(f"unknown wal_mode {self.wal_mode!r}")
         if self.log_flush_policy not in ("commit", "interval"):
             raise ConfigError(f"unknown log_flush_policy {self.log_flush_policy!r}")
+        if self.flush_latency < 0 or self.max_frozen_memtables < 1:
+            raise ConfigError("flush_latency/max_frozen_memtables out of range")
+        if self.group_atomic and (
+            self.wal_mode == "none" or self.log_flush_policy != "commit"
+        ):
+            raise ConfigError(
+                "group_atomic requires a WAL with log_flush_policy='commit'"
+            )
 
 
 class LSMEngine:
@@ -92,6 +117,13 @@ class LSMEngine:
         self.allocator = ExtentAllocator(pool_start, device.num_blocks - pool_start)
         self.versions = VersionSet(self.config.max_levels)
         self.memtable = MemTable()
+        #: Frozen (immutable) memtables awaiting background flush, oldest
+        #: first (group_atomic mode; always empty otherwise).
+        self.frozen: list[MemTable] = []
+        self._memtable_gen = 0
+        self._flush_due = 0.0
+        self._group_dirty = False
+        self.memtable_freezes = 0
         self._next_table_id = 0
         self._next_seq = 1
         self._txid = 0
@@ -132,19 +164,40 @@ class LSMEngine:
             engine.versions.add_table(entry.level, reader)
         if engine.wal is not None:
             records, end = engine.wal.scan(state.log_pos)
+            discarded = 0
+            if engine.config.group_atomic:
+                # Roll back the in-flight window: replay only the prefix
+                # sealed by a COMMIT marker.
+                records, discarded = split_complete_groups(records)
             for record in records:
                 engine._lsn = max(engine._lsn, record.lsn)
+                if engine.config.group_atomic:
+                    engine._txid = max(engine._txid, record.txid)
                 if record.op == LogOp.PUT:
                     engine.memtable.put(record.key, record.value)
                 elif record.op == LogOp.DELETE:
                     engine.memtable.delete(record.key)
             engine.wal.reset_to(end)
             engine._log_pos = state.log_pos
+            if discarded:
+                # The resumed writer appends *after* the discarded tail; if
+                # the cursor stayed behind it, a later marker would make a
+                # second recovery replay the rolled-back records.  Draining
+                # makes the replayed state durable and moves the cursor past
+                # the ghosts.
+                engine.drain_memory()
         return engine
 
     def close(self) -> None:
-        """Flush the WAL and persist the manifest (memtable is replayable)."""
+        """Flush the WAL and persist the manifest (memtable is replayable).
+
+        Frozen memtables are replayable too — the replay cursor only moves
+        past a record once it reaches an SSTable — so a clean close needs no
+        drain, just a marker sealing the open window in group-atomic mode.
+        """
         if self.wal is not None:
+            if self.config.group_atomic and self._group_dirty:
+                self._seal_group()
             self.wal.flush()
         self._persist_manifest()
 
@@ -157,6 +210,7 @@ class LSMEngine:
         self.memtable.put(key, value)
         self.user_bytes += len(key) + len(value)
         self.operations += 1
+        self._group_dirty = True
         self._maybe_flush_memtable()
 
     def delete(self, key: bytes) -> None:
@@ -165,6 +219,7 @@ class LSMEngine:
         self.memtable.delete(key)
         self.user_bytes += len(key)
         self.operations += 1
+        self._group_dirty = True
         self._maybe_flush_memtable()
 
     def delete_checked(self, key: bytes) -> None:
@@ -212,6 +267,7 @@ class LSMEngine:
         self.memtable.put_batch(items)
         self.user_bytes += sum(len(key) + len(value) for key, value in items)
         self.operations += len(items)
+        self._group_dirty = True
         self._maybe_flush_memtable()
 
     def get_batch(self, keys: list[bytes]) -> list[Optional[bytes]]:
@@ -241,6 +297,7 @@ class LSMEngine:
         self.memtable.put_batch([(key, None) for key in keys])
         self.user_bytes += sum(len(key) for key in keys)
         self.operations += len(keys)
+        self._group_dirty = True
         self._maybe_flush_memtable()
 
     def _can_defer_flush_decision(self, n_ops: int, payload_bound: int) -> bool:
@@ -253,6 +310,10 @@ class LSMEngine:
         the WAL ring guard stays clear because ``n_ops`` appends seal at
         most ``n_ops`` blocks.
         """
+        if self.config.group_atomic:
+            # No per-op triggers exist in group-atomic mode — every flush
+            # decision happens at the commit boundary — so any batch defers.
+            return True
         if self.memtable.approximate_bytes + payload_bound >= self.config.memtable_bytes:
             return False
         if (
@@ -267,6 +328,10 @@ class LSMEngine:
         found, value = self.memtable.get(key)
         if found:
             return value
+        for table in reversed(self.frozen):  # newest frozen first
+            found, value = table.get(key)
+            if found:
+                return value
         for reader in self.versions.tables_for_get(key):
             found, value = reader.get(key)
             if found:
@@ -293,6 +358,10 @@ class LSMEngine:
         sources: list[tuple[int, Iterator]] = [
             (1 << 62, self.memtable.items_from(start_key))
         ]
+        for index, table in enumerate(self.frozen):
+            # Older than the active memtable, newer than every SSTable;
+            # ascending index = ascending age priority.
+            sources.append(((1 << 61) + index, table.items_from(start_key)))
         for level, tables in enumerate(self.versions.levels):
             for reader in tables:
                 if reader.meta.max_key >= start_key:
@@ -323,13 +392,67 @@ class LSMEngine:
     # ---------------------------------------------------------- transactions
 
     def commit(self) -> None:
-        """Group-commit point (flushes the WAL under the commit policy)."""
+        """Group-commit point (flushes the WAL under the commit policy).
+
+        In group-atomic mode this is also where every memtable decision
+        runs: seal the window with a COMMIT marker, make it durable, then
+        flush a due frozen memtable, guard the WAL ring, and freeze the
+        active memtable if it filled during the window.
+        """
         self._txid += 1
+        if self.wal is not None and self.config.group_atomic and self._group_dirty:
+            self._seal_group()
         if self.wal is not None and self.config.log_flush_policy == "commit":
             self.wal.flush()
+        if self.config.group_atomic:
+            self._boundary_maintenance()
+
+    def _seal_group(self) -> None:
+        """Append the COMMIT marker that makes the open window replayable."""
+        assert self.wal is not None
+        self._lsn += 1
+        self.wal.append(LogRecord(self._lsn, self._txid, LogOp.COMMIT, b"", b""))
+        self._group_dirty = False
+
+    def _boundary_maintenance(self) -> None:
+        """Memtable lifecycle work, runnable only between commit windows."""
+        if self.frozen and self.clock.now >= self._flush_due:
+            self.flush_frozen()
+        if (
+            self.wal is not None
+            and self.wal.blocks_since(self._log_pos) > self.config.log_blocks // 2
+        ):
+            # The ring is about to wrap over un-tabled records: drain
+            # everything so the replay cursor can advance.
+            self.drain_memory()
+            return
+        if (
+            self.memtable.approximate_bytes >= self.config.memtable_bytes
+            and len(self.frozen) < self.config.max_frozen_memtables
+        ):
+            self.freeze_memtable()
+
+    @property
+    def write_stalled(self) -> bool:
+        """True while the active memtable is full but cannot be frozen
+        because the frozen-memtable backlog is at its limit — RocksDB's
+        write-stall condition.  Relief is the oldest frozen table's flush,
+        due at :meth:`stall_relief_at`."""
+        return (
+            len(self.frozen) >= self.config.max_frozen_memtables
+            and self.memtable.approximate_bytes >= self.config.memtable_bytes
+        )
+
+    def stall_relief_at(self) -> float:
+        """Simulated time when the oldest frozen memtable's flush is due."""
+        return self._flush_due if self.frozen else self.clock.now
 
     def tick(self) -> None:
-        """Clock-driven background work (periodic WAL flush)."""
+        """Clock-driven background work (periodic WAL flush, frozen flush)."""
+        if self.config.group_atomic:
+            if self.frozen and self.clock.now >= self._flush_due:
+                self.flush_frozen()
+            return
         if (
             self.wal is not None
             and self.config.log_flush_policy == "interval"
@@ -347,6 +470,10 @@ class LSMEngine:
         self.wal.append(LogRecord(self._lsn, self._txid, op, key, value))
 
     def _maybe_flush_memtable(self) -> None:
+        if self.config.group_atomic:
+            # Mid-window flushes would persist part of an unacknowledged
+            # window; all lifecycle decisions defer to the commit boundary.
+            return
         if self.memtable.approximate_bytes < self.config.memtable_bytes:
             # Guard the WAL ring exactly like the B-tree engine does.
             if (
@@ -359,6 +486,11 @@ class LSMEngine:
 
     def flush_memtable(self) -> None:
         """Write the memtable as a level-0 table and run due compactions."""
+        if self.config.group_atomic:
+            # Frozen tables hold strictly older data and must reach level 0
+            # first; drain handles the ordering (and the replay cursor).
+            self.drain_memory()
+            return
         if len(self.memtable) == 0:
             return
         with maybe_span("lsm.memtable_flush", "lsm", records=len(self.memtable)):
@@ -377,6 +509,73 @@ class LSMEngine:
             if self.wal is not None:
                 self._log_pos = self.wal.position()
             self._run_compactions()
+            self._persist_manifest()
+
+    # ------------------------------------------------- frozen-memtable handoff
+
+    def freeze_memtable(self) -> None:
+        """Seal the active memtable as immutable and swap in a fresh one.
+
+        The frozen table keeps serving reads (newest-frozen-first, after the
+        active memtable) until its background flush — due ``flush_latency``
+        simulated seconds after the *oldest* freeze — writes it to level 0.
+        Nothing touches storage here, which is what makes the handoff cheap
+        enough to run inside a commit window's latency budget.
+        """
+        if len(self.memtable) == 0:
+            return
+        self.frozen.append(self.memtable)
+        self._memtable_gen += 1
+        self.memtable = MemTable(seed=self._memtable_gen)
+        if len(self.frozen) == 1:
+            self._flush_due = self.clock.now + self.config.flush_latency
+        self.memtable_freezes += 1
+        maybe_instant("lsm.memtable_freeze", "lsm", frozen=len(self.frozen))
+
+    def flush_frozen(self) -> None:
+        """Write the oldest frozen memtable as a level-0 table.
+
+        The replay cursor (``_log_pos``) only advances once *no* in-memory
+        data remains — a frozen table's records stay covered by the WAL
+        until then, so a crash between freeze and flush simply replays them.
+        """
+        if not self.frozen:
+            return
+        table = self.frozen.pop(0)
+        with maybe_span("lsm.frozen_flush", "lsm", records=len(table),
+                        backlog=len(self.frozen)):
+            if self.wal is not None:
+                self.wal.flush()
+            writer = self._make_writer(expected_keys=len(table))
+            for key, value in table.items():
+                writer.add(key, value)
+            meta, logical, physical = writer.finish()
+            self.flush_logical += logical
+            self.flush_physical += physical
+            reader = SSTableReader.open(self.device, meta.start_block, meta.num_blocks)
+            self.versions.add_table(0, reader)
+            self.memtable_flushes += 1
+            if self.wal is not None and not self.frozen and len(self.memtable) == 0:
+                self._log_pos = self.wal.position()
+            self._run_compactions()
+            self._persist_manifest()
+        if self.frozen:
+            self._flush_due = self.clock.now + self.config.flush_latency
+
+    def drain_memory(self) -> None:
+        """Flush every memtable (frozen and active) and advance the replay
+        cursor — WAL-ring pressure relief and the recovery re-anchor path."""
+        flushed_any = bool(self.frozen) or len(self.memtable) > 0
+        while self.frozen:
+            self.flush_frozen()
+        self.freeze_memtable()
+        while self.frozen:
+            self.flush_frozen()
+        if not flushed_any and self.wal is not None:
+            # Nothing to table (e.g. a marker-only stream), but the ring can
+            # still be reclaimed by re-anchoring the cursor at the tail.
+            self.wal.flush()
+            self._log_pos = self.wal.position()
             self._persist_manifest()
 
     def _make_writer(self, expected_keys: int, seq: Optional[int] = None) -> SSTableWriter:

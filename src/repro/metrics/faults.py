@@ -52,6 +52,9 @@ class FaultStats:
     delta_scrubs: int = 0
     #: Redo-log scans truncated at a corrupt (non-padding) tail record.
     wal_truncations: int = 0
+    #: Unmarked commit-window tails rolled back during group-atomic recovery
+    #: (the window crashed before its COMMIT marker became durable).
+    group_rollbacks: int = 0
 
     def __setattr__(self, name: str, value) -> None:
         """Counter increments surface as ``fault.<counter>`` trace instants.

@@ -54,6 +54,11 @@ class MetricsHub:
         self.series = WindowedSeries(window_seconds, on_window)
         self.device_model = DeviceLatencyModel()
         self.host_model = HostCostModel()
+        #: Serving-layer counter series (fed by ``StorageService``); created
+        #: lazily so runs without a service layer serialise exactly as before.
+        self.service_series: Optional[WindowedSeries] = None
+        #: Distribution of submission-queue depth samples (integer units).
+        self.queue_depth: Optional[LatencyHistogram] = None
 
     # ----------------------------------------------------------- recording
 
@@ -67,6 +72,19 @@ class MetricsHub:
         """Record one operation's modelled latency from its device traffic."""
         latency = self.device_model.busy_time(device_delta) + self.host_model.op_base
         self.histogram(kind).record(latency)
+
+    def record_batch(self, kind: str, n: int, device_delta: DeviceStats) -> None:
+        """Record ``n`` same-kind ops served by one amortised batch call.
+
+        The batch's device busy time is shared evenly across its ops (the
+        device serviced one coalesced request stream), while the host op
+        base cost is charged per op — so batched runs land in the same
+        histograms as per-op runs and remain comparable.
+        """
+        if n <= 0:
+            return
+        latency = self.device_model.busy_time(device_delta) / n + self.host_model.op_base
+        self.histogram(kind).record(latency, count=n)
 
     @staticmethod
     def _values(traffic: TrafficSnapshot, device: DeviceStats) -> Dict[str, float]:
@@ -89,6 +107,29 @@ class MetricsHub:
     def finish(self, t: float, traffic: TrafficSnapshot, device: DeviceStats) -> None:
         """Close the final partial window with a last sample."""
         self.series.finish(t, self._values(traffic, device))
+
+    # ------------------------------------------------------ service counters
+
+    def sample_service(
+        self, t: float, counters: Dict[str, float], queue_depth: int = 0
+    ) -> None:
+        """Feed one cumulative serving-layer counter sample at ``t``.
+
+        ``counters`` is a plain dict of cumulative ``ServiceStats`` fields
+        (duck-typed to avoid an obs → service import cycle); the per-window
+        deltas become the stall/shed/retry trajectory.  ``queue_depth`` is a
+        gauge and goes into its own distribution instead of the delta series.
+        """
+        if self.service_series is None:
+            self.service_series = WindowedSeries(self.series.window)
+            self.queue_depth = LatencyHistogram(min_unit=1.0)
+        self.service_series.sample(t, dict(counters))
+        self.queue_depth.record(float(queue_depth))
+
+    def finish_service(self, t: float, counters: Dict[str, float]) -> None:
+        """Close the serving-layer series' final partial window."""
+        if self.service_series is not None:
+            self.service_series.finish(t, dict(counters))
 
     # ----------------------------------------------------------- reporting
 
@@ -120,7 +161,7 @@ class MetricsHub:
 
     def summary(self) -> dict:
         """JSON-safe digest stored on ``ExperimentResult.obs``."""
-        return {
+        out = {
             "op_latency": {
                 kind: hist.summary() for kind, hist in sorted(self.op_latency.items())
             },
@@ -128,6 +169,15 @@ class MetricsHub:
             "wa_windows": self.wa_windows(),
             "totals": self.series.totals(),
         }
+        if self.service_series is not None:
+            digest = self.queue_depth.summary()
+            digest["p999"] = self.queue_depth.quantile(0.999)
+            out["service"] = {
+                "windows": list(self.service_series.windows),
+                "totals": self.service_series.totals(),
+                "queue_depth": digest,
+            }
+        return out
 
     # ------------------------------------------------------ merge/serialise
 
@@ -136,15 +186,25 @@ class MetricsHub:
         for kind, hist in other.op_latency.items():
             self.histogram(kind).merge(hist)
         self.series.windows.extend(other.series.windows)
+        if other.service_series is not None:
+            if self.service_series is None:
+                self.service_series = WindowedSeries(self.series.window)
+                self.queue_depth = LatencyHistogram(min_unit=1.0)
+            self.service_series.windows.extend(other.service_series.windows)
+            self.queue_depth.merge(other.queue_depth)
         return self
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "op_latency": {
                 kind: hist.to_dict() for kind, hist in sorted(self.op_latency.items())
             },
             "series": self.series.to_dict(),
         }
+        if self.service_series is not None:
+            out["service_series"] = self.service_series.to_dict()
+            out["queue_depth"] = self.queue_depth.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "MetricsHub":
@@ -152,4 +212,12 @@ class MetricsHub:
         for kind, hist_data in data["op_latency"].items():
             hub.op_latency[kind] = LatencyHistogram.from_dict(hist_data)
         hub.series.windows = [dict(window) for window in data["series"]["windows"]]
+        if "service_series" in data:
+            hub.service_series = WindowedSeries(
+                data["service_series"]["window_seconds"]
+            )
+            hub.service_series.windows = [
+                dict(window) for window in data["service_series"]["windows"]
+            ]
+            hub.queue_depth = LatencyHistogram.from_dict(data["queue_depth"])
         return hub

@@ -1,0 +1,131 @@
+"""Simulated client sessions.
+
+A :class:`ClientSession` is an open-loop client: it submits one operation
+every ``arrival_interval`` simulated seconds regardless of what happened to
+the previous one (that is what makes overload possible — a closed-loop
+client would self-throttle and never fill the queue).  Its op stream is a
+deterministic function of a labelled RNG split, so a thousand sessions are
+exactly reproducible and independent of scheduling order.
+
+Per-session outcome counters (:class:`SessionStats`) are what the fairness
+metric is computed from: the spread of ``completed`` across sessions of an
+equal-offered-load run measures how evenly the service shares a commit
+window under pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.sim.rng import DeterministicRng
+from repro.workloads.generator import Op, mixed_ops
+from repro.workloads.records import KeySpace
+
+
+@dataclass
+class SessionStats:
+    """Outcome counters for one client session."""
+
+    completed: int = 0
+    shed: int = 0
+    expired: int = 0
+    failed: int = 0
+
+    @property
+    def resolved(self) -> int:
+        """Ops with a final outcome (acknowledged or typed-error)."""
+        return self.completed + self.shed + self.expired + self.failed
+
+
+class ClientSession:
+    """One simulated client: an op stream plus an arrival schedule."""
+
+    def __init__(
+        self,
+        session_id: int,
+        ops: Iterator[Op],
+        n_ops: int,
+        arrival_interval: float,
+        first_arrival: float = 0.0,
+    ) -> None:
+        if n_ops < 0 or arrival_interval <= 0:
+            raise ValueError("n_ops must be >= 0 and arrival_interval > 0")
+        self.session_id = session_id
+        self._ops = ops
+        self.remaining = n_ops
+        self.arrival_interval = arrival_interval
+        #: Simulated time at which the next op is submitted.
+        self.next_arrival = first_arrival
+        self.stats = SessionStats()
+        #: Most recent typed service error this session's ops hit (if any).
+        self.last_error: Optional[Exception] = None
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every op has been submitted (not necessarily resolved)."""
+        return self.remaining <= 0
+
+    def take_op(self) -> Op:
+        """Consume the next op and advance the arrival schedule."""
+        if self.remaining <= 0:
+            raise ValueError(f"session {self.session_id} has no ops left")
+        op = next(self._ops)
+        self.remaining -= 1
+        self.next_arrival += self.arrival_interval
+        return op
+
+
+def make_sessions(
+    n_sessions: int,
+    ops_per_session: int,
+    keyspace: KeySpace,
+    rng: DeterministicRng,
+    arrival_interval: float,
+    write_fraction: float = 0.8,
+    scan_fraction: float = 0.0,
+    stagger: Optional[float] = None,
+) -> List[ClientSession]:
+    """Build ``n_sessions`` deterministic sessions over one keyspace.
+
+    Each session draws from its own labelled RNG split, so streams are
+    independent of each other and of consumption order.  ``stagger`` offsets
+    the i-th session's first arrival by ``i * stagger`` (default: arrivals
+    spread evenly across one ``arrival_interval``, which avoids the
+    thundering herd of every client arriving at t=0 while keeping the
+    offered load exactly ``n_sessions / arrival_interval`` ops/s).
+    """
+    if n_sessions < 1:
+        raise ValueError("need at least one session")
+    if stagger is None:
+        stagger = arrival_interval / n_sessions
+    return [
+        ClientSession(
+            index,
+            mixed_ops(
+                keyspace,
+                rng.split("session", index),
+                write_fraction=write_fraction,
+                scan_fraction=scan_fraction,
+            ),
+            ops_per_session,
+            arrival_interval,
+            first_arrival=index * stagger,
+        )
+        for index in range(n_sessions)
+    ]
+
+
+def fairness_spread(sessions: List[ClientSession]) -> float:
+    """Per-session completed-op spread: ``(max - min) / mean`` of completions.
+
+    0.0 is perfectly fair; 2.0 (with many sessions) means some sessions got
+    roughly everything while others got nothing.  Only meaningful when every
+    session offered the same load, which :func:`make_sessions` guarantees.
+    """
+    counts = [s.stats.completed for s in sessions]
+    total = sum(counts)
+    if not counts or total == 0:
+        return 0.0
+    mean = total / len(counts)
+    return (max(counts) - min(counts)) / mean

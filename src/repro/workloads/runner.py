@@ -84,8 +84,10 @@ class WorkloadRunner:
         never cross a round boundary, so the group-commit and clock cadence
         is unchanged, and the batch paths are bit-identical to the single-op
         sequence (proved by ``tests/test_differential.py``).  The default of
-        1 keeps the legacy per-op path.  Batching is incompatible with
-        per-op hub sampling, so it only engages when ``hub`` is None."""
+        1 keeps the legacy per-op path.  Batched runs feed the hub through
+        :meth:`~repro.obs.metrics.MetricsHub.record_batch` — each op in a
+        batch is charged an even share of the batch's device busy time — and
+        sample the WA window series once per round, same as per-op runs."""
         if n_threads < 1:
             raise ValueError("need at least one client thread")
         if batch_size < 1:
@@ -166,7 +168,7 @@ class WorkloadRunner:
         hub = self.hub
         if hub is not None:
             hub.sample(clock_before, traffic_before, self.device.stats)
-        if self.batch_size > 1 and hub is None:
+        if self.batch_size > 1:
             self._run_batched(ops, n_ops, stats)
         else:
             self._run_per_op(ops, n_ops, stats)
@@ -214,19 +216,39 @@ class WorkloadRunner:
         flushed *before* every round boundary, so a batch never spans a
         group commit or a clock tick, and the batch paths themselves are
         bit-identical to the single-op sequence.
+
+        With a hub attached, each drained batch records its ops' amortised
+        device latency (hub observation only — device and clock untouched,
+        so measured results stay bit-identical to the hub-less run).
         """
         engine = self.engine
         batch_size = self.batch_size
+        hub = self.hub
+        device_stats = self.device.stats
         puts: list = []  # pending (key, value) pairs
         reads: list = []  # pending keys
 
         def drain() -> None:
             if puts:
-                engine.put_batch(puts)
+                if hub is None:
+                    engine.put_batch(puts)
+                else:
+                    before = device_stats.snapshot()
+                    engine.put_batch(puts)
+                    hub.record_batch(
+                        OpKind.PUT.value, len(puts), device_stats.delta(before)
+                    )
                 stats.puts += len(puts)
                 puts.clear()
             if reads:
-                engine.get_batch(reads)
+                if hub is None:
+                    engine.get_batch(reads)
+                else:
+                    before = device_stats.snapshot()
+                    engine.get_batch(reads)
+                    hub.record_batch(
+                        OpKind.READ.value, len(reads), device_stats.delta(before)
+                    )
                 stats.reads += len(reads)
                 reads.clear()
 
@@ -247,7 +269,12 @@ class WorkloadRunner:
                     drain()
             else:
                 drain()
-                got = engine.scan(op.key, op.scan_length)
+                if hub is None:
+                    got = engine.scan(op.key, op.scan_length)
+                else:
+                    before = device_stats.snapshot()
+                    got = engine.scan(op.key, op.scan_length)
+                    hub.record_op(op.kind.value, device_stats.delta(before))
                 stats.scans += 1
                 stats.records_scanned += len(got)
             stats.ops += 1
@@ -258,6 +285,9 @@ class WorkloadRunner:
                 self.clock.advance(self.per_op_interval)
                 engine.tick()
                 in_round = 0
+                if hub is not None:
+                    hub.sample(self.clock.now, engine.traffic_snapshot(),
+                               device_stats)
         if in_round:
             drain()
             engine.commit()

@@ -28,3 +28,33 @@ def heal_reraise(device, lba: int):
         return device.read_block(lba)
     except TransientIOError as exc:  # ok: converted and re-raised
         raise RuntimeError("unrecoverable") from exc
+
+
+def shed_silently(service, op):
+    try:
+        return service.submit(op)
+    except ServiceOverloadError:  # FLT003: swallowed shed, ledger drifts
+        return None
+
+
+def expire_silently(service, op):
+    try:
+        return service.submit(op)
+    except (DeadlineExceededError, RetryExhaustedError):  # FLT003: uncounted
+        return None
+
+
+def shed_accounted(service, op, stats):
+    try:
+        return service.submit(op)
+    except ServiceOverloadError:  # ok: counted on the ServiceStats ledger
+        stats.shed_overload += 1
+        return None
+
+
+def retry_on_service_ledger(device, lba: int, service_stats):
+    try:
+        return device.read_block(lba)
+    except TransientIOError:  # ok: ServiceStats counters also account
+        service_stats.transient_retries += 1
+        raise

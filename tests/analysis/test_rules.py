@@ -77,9 +77,12 @@ def test_iod002_exempt_inside_csd():
 
 def test_flt003_flags_unaccounted_handlers_only():
     findings = fixture_findings("engine/flt003_bad.py", rules_only("FLT003"))
-    assert [f.line for f in findings] == [7, 14]
+    assert [f.line for f in findings] == [7, 14, 36, 43]
     assert "TransientIOError" in findings[0].message
     assert "TornWriteError" in findings[1].message
+    assert "ServiceOverloadError" in findings[2].message
+    assert "ServiceStats" in findings[2].message
+    assert "DeadlineExceededError" in findings[3].message
 
 
 # ------------------------------------------------------------------ EXC004

@@ -338,3 +338,37 @@ def test_read_blocks_retrying_and_multi_corruption():
     device.flush()
     assert read_blocks_retrying(device, 4, 2, stats) == payload
     assert stats.transient_read_retries == 1
+
+
+# ---------------------------------------------------------------- repeat
+
+
+def test_scripted_repeat_fires_at_consecutive_op_indices():
+    fault = ScriptedFault(2, "transient-read", repeat=3)
+    device = wrapped(FaultPlan(scripted=(fault,)))
+    device.write_block(0, block(0))  # op 0
+    device.flush()                   # op 1
+    for _ in range(3):               # ops 2..4 all fault
+        with pytest.raises(TransientIOError):
+            device.read_block(0)
+    assert device.read_block(0) == block(0)  # op 5: past the repeat span
+
+
+def test_scripted_repeat_outlasts_the_bounded_retry_helper():
+    """A repeat longer than RETRY_ATTEMPTS forces the fault past the
+    engine-level retry helpers, to whoever sits above them."""
+    stats = FaultStats()
+    fault = ScriptedFault(1, "transient-read", repeat=RETRY_ATTEMPTS + 1)
+    device = wrapped(FaultPlan(scripted=(fault,)))
+    device.write_block(0, block(0))  # op 0
+    with pytest.raises(TransientIOError):
+        read_block_retrying(device, 0, stats)
+    assert stats.transient_read_retries == RETRY_ATTEMPTS
+    # One more span-exhausting read succeeds (indices past the span).
+    assert read_block_retrying(device, 0, stats) == block(0)
+
+
+def test_scripted_repeat_validation():
+    with pytest.raises(FaultInjectionError):
+        FaultPlan(scripted=(ScriptedFault(0, "transient-read", repeat=0),)
+                  ).validate()

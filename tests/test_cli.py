@@ -143,3 +143,49 @@ def test_config_error_exits_nonzero(monkeypatch, capsys):
     rc = main(small("compare", "--systems", "bminus"))
     assert rc == 1
     assert "REPRO_JOBS" in capsys.readouterr().err
+
+
+def serve_small(*extra):
+    return ["serve-sim", "--sessions", "6", "--ops", "8",
+            "--records", "2000"] + list(extra)
+
+
+def test_serve_sim_command(capsys):
+    assert main(serve_small()) == 0
+    out = capsys.readouterr().out
+    assert "fairness" in out and "p999" in out
+
+
+@pytest.mark.parametrize("system", ["bminus", "btree", "lsm"])
+def test_serve_sim_all_systems(system, capsys):
+    assert main(serve_small("--system", system)) == 0
+
+
+def test_serve_sim_json_ledger_closed(capsys):
+    assert main(serve_small("--json")) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stats"]["unaccounted"] == 0
+    assert payload["stats"]["completed"] == 48
+    assert "p999" in payload["latency"]["put"]
+    assert "obs" in payload
+
+
+def test_serve_sim_overload_sheds_typed(capsys):
+    assert main(serve_small("--overload", "--json")) == 0
+    payload = json.loads(capsys.readouterr().out)
+    stats = payload["stats"]
+    assert stats["shed_overload"] > 0
+    assert stats["unaccounted"] == 0
+    assert stats["queue_peak"] > 0
+
+
+def test_serve_sim_is_deterministic(capsys):
+    assert main(serve_small("--json")) == 0
+    first = capsys.readouterr().out
+    assert main(serve_small("--json")) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_serve_sim_rejects_unknown_system():
+    with pytest.raises(SystemExit):
+        main(serve_small("--system", "rocksdb"))

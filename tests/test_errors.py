@@ -40,3 +40,10 @@ def test_single_except_clause_catches_everything():
         raise errors.WalError("boom")
     with pytest.raises(errors.ReproError):
         raise errors.ConfigError("boom")
+
+
+def test_service_errors_grouped():
+    for cls in (errors.ServiceOverloadError, errors.DeadlineExceededError,
+                errors.RetryExhaustedError):
+        assert issubclass(cls, errors.ServiceError)
+    assert issubclass(errors.ServiceError, errors.ReproError)

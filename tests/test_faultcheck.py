@@ -75,3 +75,34 @@ def test_cli_faultcheck_summary(capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert "PASSED" in out
+
+
+@pytest.mark.parametrize("system", ["bminus-group", "lsm-group"])
+def test_group_commit_suts_crash_every_window_boundary(system):
+    """The group-commit SUTs crash-test multi-op windows: recovery must show
+    either the committed prefix alone or the full in-flight window — never a
+    partial window."""
+    report = run_faultcheck([system], ops=120, budget=4, trials=1, seed=2022)
+    assert report["passed"], format_report(report)
+    entry = report["systems"][system]
+    assert entry["crash_points"]["failures"] == []
+    assert entry["crash_points"]["crashes_fired"] == 8  # 4 points x 2 modes
+    # Group SUTs serve multi-op windows, so boundaries < mutations.
+    assert entry["crash_points"]["mutation_points"] > 0
+
+
+def test_group_sut_acceptance_includes_the_full_inflight_window():
+    sut = _make_suts()["bminus-group"]
+    assert sut.group_size > 1
+    stream = make_workload(9, 80)
+    crash = run_crash_schedule(sut, stream, seed=9, budget=5)
+    assert not crash.as_dict()["failures"]
+
+
+def test_lsm_group_sut_skips_probabilistic_fault_trials():
+    sut = _make_suts()["lsm-group"]
+    assert sut.fault_trials is False
+    report = run_faultcheck(["lsm-group"], ops=80, budget=2, trials=2,
+                            seed=2022)
+    assert report["passed"]
+    assert report["systems"]["lsm-group"]["fault_trials"]["trials"] == 0
