@@ -11,10 +11,12 @@ diverges from the serial path, or breaks under a spawn start method.
 
 The rule resolves, within one file, the functions submitted to a pool
 (``pool.submit(f, ...)`` / ``pool.map(f, ...)`` where the pool was built
-from ``ProcessPoolExecutor``) or passed as a ``runner`` to
-:func:`repro.bench.parallel.run_specs` / ``run_grid``, and flags any
-mutation of a module-level name inside them: ``global`` declarations,
-subscript/attribute stores, and calls of mutating container methods.
+from ``ProcessPoolExecutor``), passed as a ``runner`` to
+:func:`repro.bench.parallel.run_specs` / ``run_grid``, or passed as a
+``worker`` to the generic ``run_tasks`` dispatcher (the shard pool), and
+flags any mutation of a module-level name inside them: ``global``
+declarations, subscript/attribute stores, and calls of mutating container
+methods.
 """
 
 from __future__ import annotations
@@ -35,7 +37,10 @@ MUTATOR_METHODS = frozenset(
 )
 
 #: Same-file entry points that take a worker callable.
-POOL_DISPATCHERS = frozenset({"run_specs", "run_grid"})
+POOL_DISPATCHERS = frozenset({"run_specs", "run_grid", "run_tasks"})
+
+#: Keyword names those dispatchers accept the callable under.
+WORKER_KEYWORDS = frozenset({"runner", "worker"})
 
 
 def _module_level_names(tree: ast.Module) -> Set[str]:
@@ -99,7 +104,7 @@ def _worker_names(tree: ast.Module, pools: Set[str]) -> Set[str]:
                 if isinstance(arg, ast.Name):
                     workers.add(arg.id)
             for kw in node.keywords:
-                if kw.arg == "runner" and isinstance(kw.value, ast.Name):
+                if kw.arg in WORKER_KEYWORDS and isinstance(kw.value, ast.Name):
                     workers.add(kw.value.id)
     return workers
 

@@ -182,7 +182,11 @@ def _make_suts() -> dict[str, SystemUnderTest]:
     }
 
 
-FAULTCHECK_SYSTEMS = tuple(_make_suts())
+#: The multi-device sharded system; handled specially by the campaign
+#: driver (see phase 5) rather than through :class:`SystemUnderTest`.
+_SHARD_SPLIT_SYSTEM = "shard-split"
+
+FAULTCHECK_SYSTEMS = tuple(_make_suts()) + (_SHARD_SPLIT_SYSTEM,)
 
 
 # ----------------------------------------------------------------- workload
@@ -627,6 +631,182 @@ def run_wal_truncation(sut: SystemUnderTest, stream, seed: int) -> dict:
 # ------------------------------------------------------------------ campaign
 
 
+# ------------------------------------------- phase 5: sharded split crashes
+
+
+#: Shard-split campaign topology: two shards, one online split.
+_SHARD_OPS_DEFAULT = 80
+#: Ops per commit window while populating the sharded store.
+_SHARD_COMMIT_EVERY = 8
+
+
+def _shard_config(engine: str, partitioning: str) -> "ShardConfig":
+    from repro.shard.router import ShardConfig
+
+    return ShardConfig(
+        n_shards=2,
+        partitioning=partitioning,
+        engine=engine,
+        device_blocks=_DEVICE_BLOCKS,
+    )
+
+
+def _shard_populate(router, stream) -> dict:
+    """Apply the workload through the router, committing in small windows."""
+    committed: dict = {}
+    for index, op in enumerate(stream):
+        kind, key, value = op
+        if kind == "put":
+            router.put(key, value)
+        else:
+            router.delete(key)
+        _apply(committed, op)
+        if (index + 1) % _SHARD_COMMIT_EVERY == 0:
+            router.commit()
+    router.commit()
+    return committed
+
+
+def _shard_run(config, stream, roles, plans=None):
+    """Build a sharded deployment over ``roles`` named devices and split.
+
+    ``roles`` maps ``shard0``/``shard1``/``meta``/``dst`` to inner devices;
+    ``plans`` optionally wraps a role in a scripted
+    :class:`FaultInjectingDevice`.  Returns the populated model (the split
+    must not change KV content, so the model doubles as the reference for
+    both the pre- and post-split state).
+    """
+    from repro.shard.router import ShardRouter
+
+    plans = plans or {}
+    wrapped = {
+        name: FaultInjectingDevice(inner, plans[name]) if name in plans else inner
+        for name, inner in roles.items()
+    }
+    router = ShardRouter.create(
+        config,
+        devices=[wrapped["shard0"], wrapped["shard1"]],
+        meta_device=wrapped["meta"],
+    )
+    model = _shard_populate(router, stream)
+    markers = {
+        name: device._op_index
+        for name, device in wrapped.items()
+        if isinstance(device, FaultInjectingDevice)
+    }
+    source = max(
+        router.stacks,
+        key=lambda sid: (sum(1 for _ in router.stacks[sid].items()), -sid),
+    )
+    router.split_shard(source, device=wrapped["dst"])
+    return model, wrapped, markers
+
+
+def _shard_split_points(config, stream) -> tuple[dict, list[tuple[str, int]]]:
+    """Profile one fault-free split run; return the model and every
+    (role, op-index) device mutation boundary inside the split protocol."""
+    roles = {
+        name: FaultInjectingDevice(
+            CompressedBlockDevice(_DEVICE_BLOCKS), record_ops=True
+        )
+        for name in ("shard0", "shard1", "meta", "dst")
+    }
+    model, _wrapped, markers = _shard_run(config, stream, roles)
+    points: list[tuple[str, int]] = []
+    for name, device in roles.items():
+        for index, (kind, _lba, _count) in enumerate(device.op_log):
+            if index >= markers[name] and kind in ("write", "trim", "flush"):
+                points.append((name, index))
+    return model, points
+
+
+def run_shard_split_schedule(
+    seed: int,
+    budget: int,
+    ops: int = _SHARD_OPS_DEFAULT,
+    engine: str = "bminus",
+    partitioning: str = "hash",
+) -> CrashPointReport:
+    """Crash an online shard split at every device write/TRIM/flush boundary.
+
+    For each boundary (on either shard, the split destination, or the meta
+    routing journal) and each of drop/torn modes, the identical populate +
+    split run is repeated with a scripted crash exactly there; the crash is
+    a node-wide power cut (every other device loses its un-flushed writes
+    too).  Fault-free recovery via ``ShardRouter.open`` must then serve
+    *exactly* the populated key set — migration moves keys, never creates
+    or destroys them — with either the pre-split (2-shard) or post-split
+    (3-shard) routing table.  Any lost key, duplicated key, or hybrid table
+    is a failure.
+    """
+    from repro.shard.router import ShardRouter
+
+    config = _shard_config(engine, partitioning)
+    stream = make_workload(seed, ops)
+    report = CrashPointReport()
+    model, points = _shard_split_points(config, stream)
+    report.mutation_points = len(points)
+    picked = _sample(list(range(len(points))), budget)
+    order = {name: role_id for role_id, name in
+             enumerate(("shard0", "shard1", "meta", "dst"))}
+    for mode in ("drop", "torn"):
+        for position in picked:
+            role, op_index = points[position]
+            report.tested += 1
+            plan = FaultPlan(
+                seed=seed + op_index,
+                scripted=(
+                    ScriptedFault(op_index=op_index, kind="crash", mode=mode),
+                ),
+            )
+            roles = {
+                name: CompressedBlockDevice(_DEVICE_BLOCKS)
+                for name in ("shard0", "shard1", "meta", "dst")
+            }
+            try:
+                _shard_run(config, stream, roles, plans={role: plan})
+            except SimulatedCrashError:
+                pass
+            else:
+                # Boundary not reached in this mode (should not happen: the
+                # run is deterministic and the point was profiled).
+                continue
+            report.crashes_fired += 1
+            # Node-wide power cut: every *other* device loses its pending
+            # writes the same way the scripted device did.
+            for name, inner in roles.items():
+                if name != role:
+                    if mode == "torn":
+                        inner.simulate_crash(keep_torn=seed + op_index + order[name])
+                    else:
+                        inner.simulate_crash()
+            recovered = ShardRouter.open(
+                config,
+                devices={0: roles["shard0"], 1: roles["shard1"], 2: roles["dst"]},
+                meta_device=roles["meta"],
+            )
+            state = dict(recovered.items())
+            lookups_ok = all(recovered.get(k) == v for k, v in model.items())
+            if (
+                state != model
+                or not lookups_ok
+                or recovered.n_shards not in (2, 3)
+            ):
+                report.failures.append({
+                    "mode": mode,
+                    "role": role,
+                    "op_index": op_index,
+                    "n_shards": recovered.n_shards,
+                    "missing": sorted(
+                        k.decode() for k in set(model) - set(state)
+                    )[:5],
+                    "unexpected": sorted(
+                        k.decode() for k in set(state) - set(model)
+                    )[:5],
+                })
+    return report
+
+
 def run_faultcheck(
     systems: Optional[list[str]] = None,
     ops: int = 200,
@@ -636,12 +816,12 @@ def run_faultcheck(
 ) -> dict:
     """Run the full campaign; returns the JSON-serialisable report."""
     suts = _make_suts()
-    names = list(systems) if systems else list(suts)
+    names = list(systems) if systems else list(FAULTCHECK_SYSTEMS)
     for name in names:
-        if name not in suts:
+        if name not in suts and name != _SHARD_SPLIT_SYSTEM:
             raise ValueError(
                 f"unknown faultcheck system {name!r}; "
-                f"choose from {sorted(suts)}"
+                f"choose from {sorted(FAULTCHECK_SYSTEMS)}"
             )
     stream = make_workload(seed, ops)
     report: dict = {
@@ -650,6 +830,21 @@ def run_faultcheck(
     }
     passed = True
     for name in names:
+        if name == _SHARD_SPLIT_SYSTEM:
+            # The sharded SUT is multi-device: it runs its own schedule (an
+            # online split crashed at every boundary on every device) and
+            # has no single-engine fault-trial or repair phase.
+            crash = run_shard_split_schedule(seed, budget, ops=min(ops, _SHARD_OPS_DEFAULT))
+            report["systems"][name] = {
+                "crash_points": crash.as_dict(),
+                "fault_trials": FaultTrialReport().as_dict(),
+                "repair": {
+                    "style": "none", "targets": 0, "read_repairs": 0,
+                    "journal_repairs": 0, "failures": [],
+                },
+            }
+            passed = passed and not crash.failures
+            continue
         sut = suts[name]
         crash = run_crash_schedule(sut, stream, seed, budget)
         if sut.fault_trials:

@@ -354,6 +354,81 @@ def bench_serving(scale: float = 1.0) -> Dict[str, object]:
     }
 
 
+def bench_sharded(scale: float = 1.0, jobs: int = 4) -> Dict[str, object]:
+    """Sharded scale-out figures (PR 8's tentpole).
+
+    Two measurements over the same deterministic workload:
+
+    * **merge exactness** — a 4-shard router (serial) must end in *exactly*
+      the per-key state of an unsharded sequential replay on one engine,
+      and its merged figures (fleet WA, final keys, user bytes) are
+      bit-reproducible on the sim clock, so ``--check`` gates them for
+      exact drift like the serving scenarios;
+    * **shard speedup** — wall-clock of ``run_shard_sim`` with one pool
+      worker per shard vs serial.  Core-bound like the figure run, so it
+      rides along as trajectory (non-gating on 1-CPU hosts).
+    """
+    from repro.shard.router import ShardConfig, ShardRouter, make_engine
+    from repro.shard.sim import make_shard_workload, run_shard_sim
+
+    n_shards = 4
+    ops = max(120, int(240 * scale))
+    seed = 2022
+    config = ShardConfig(n_shards=n_shards, engine="bminus")
+    stream = make_shard_workload(seed, ops)
+
+    # Merge exactness: sharded apply vs unsharded sequential replay.
+    router = ShardRouter.create(config)
+    unsharded = make_engine(config, CompressedBlockDevice(config.device_blocks))
+    for index, (kind, key, value) in enumerate(stream):
+        if kind == "put":
+            router.put(key, value)
+            unsharded.put(key, value)
+        else:
+            router.delete(key)
+            unsharded.delete(key)
+        if (index + 1) % 16 == 0:
+            router.commit()
+            unsharded.commit()
+    router.commit()
+    unsharded.commit()
+    identical = dict(router.items()) == dict(unsharded.items())
+    merged_wa = router.wa_report()
+    merged_traffic = router.traffic_snapshot()
+    final_keys = sum(1 for _ in router.items())
+    router.close()
+    unsharded.close()
+
+    # Shard speedup: one pool worker per shard vs a serial run.
+    start = time.perf_counter()
+    serial = run_shard_sim(config, ops=ops, seed=seed, jobs=1)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_shard_sim(config, ops=ops, seed=seed, jobs=jobs)
+    parallel_seconds = time.perf_counter() - start
+    sim_identical = (
+        serial.traffic == parallel.traffic
+        and serial.device_stats == parallel.device_stats
+    )
+    return {
+        "n_shards": n_shards,
+        "ops": ops,
+        "seed": seed,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "results_identical": bool(identical),
+        "sim_results_identical": bool(sim_identical),
+        "merged": {
+            "wa_total": round(merged_wa.wa_total, 6),
+            "user_bytes": merged_traffic.user_bytes,
+            "final_keys": final_keys,
+        },
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup_parallel": round(serial_seconds / max(parallel_seconds, 1e-9), 3),
+    }
+
+
 def bench_trace_overhead(scale: float = 1.0) -> Dict[str, object]:
     """Wall-clock cost of running with the event tracer + metrics hub on.
 
@@ -416,6 +491,7 @@ def measure(jobs: int = 4, scale: float = 1.0, writes: int = 6000) -> Dict:
         "end_to_end": bench_end_to_end(scale=scale),
         "batched_ops": bench_batched_ops(scale=scale),
         "serving": bench_serving(scale=scale),
+        "sharded": bench_sharded(scale=scale, jobs=jobs),
         "trace_overhead": bench_trace_overhead(scale=scale),
     }
     # The PR-6 acceptance figure: batched B⁻-tree puts vs the per-op
@@ -521,6 +597,31 @@ def check(report: Dict, baseline: Dict, tolerance: float = 0.2) -> list:
                             f"serving[{name}].{key}: measured {measured} != "
                             f"baseline {expected} (deterministic figure drifted)"
                         )
+    sharded = report.get("sharded")
+    if sharded is not None:
+        # The merge is exact by construction; any divergence from the
+        # unsharded sequential replay (or between serial and parallel sim
+        # runs) is a routing/merge bug, gated unconditionally.
+        if not sharded["results_identical"]:
+            failures.append(
+                "sharded run diverged from the unsharded sequential replay "
+                "(per-key final states differ)"
+            )
+        if not sharded["sim_results_identical"]:
+            failures.append(
+                "sharded sim diverged between serial and parallel runs "
+                "(merged device stats or traffic differ)"
+            )
+        if "sharded" in baseline:
+            for key in ("wa_total", "user_bytes", "final_keys"):
+                measured = sharded["merged"][key]
+                expected = baseline["sharded"]["merged"][key]
+                if measured != expected:
+                    failures.append(
+                        f"sharded.merged.{key}: measured {measured} != "
+                        f"baseline {expected} (deterministic figure drifted)"
+                    )
+        # The shard speedup is core-bound trajectory data, never gated.
     return failures
 
 

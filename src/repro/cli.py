@@ -300,6 +300,50 @@ def cmd_faultcheck(args: argparse.Namespace) -> int:
     return 0 if report["passed"] else 1
 
 
+def cmd_shard_sim(args: argparse.Namespace) -> int:
+    """``repro shard-sim``: the sharded multi-device scale-out simulation.
+
+    Partitions a deterministic workload across ``--shards`` independent
+    engine+device stacks (one pool worker per shard when ``--jobs`` > 1),
+    then prints the topology, the per-shard WA table, and the merged fleet
+    WA/latency summary — the merge is exact (summed counters, bucket-exact
+    histogram merge), so ``--jobs N`` output equals a serial run.
+    """
+    import json as _json
+
+    from repro.shard import ShardConfig, run_shard_sim
+
+    config = ShardConfig(
+        n_shards=args.shards,
+        partitioning=args.partitioning,
+        engine=args.system,
+        device_blocks=args.device_blocks,
+    )
+    result = run_shard_sim(config, ops=args.ops, seed=args.seed, jobs=args.jobs)
+    payload = result.as_dict()
+    if args.json:
+        print(_json.dumps(payload, indent=2))
+        return 0
+    merged = payload["merged"]
+    print(f"shard-sim: {args.shards} x {args.system} "
+          f"({args.partitioning}-partitioned), ops={args.ops} "
+          f"seed={args.seed} jobs={result.jobs}")
+    print(f"{'shard':>5} {'ops':>6} {'keys':>6} {'WA':>6} {'phys MB':>8}")
+    for row in payload["shards"]:
+        print(f"{row['shard']:>5} {row['ops_applied']:>6} "
+              f"{row['final_keys']:>6} {row['wa_total']:>6.2f} "
+              f"{row['physical_bytes_written'] / 1e6:>8.2f}")
+    print(f"merged: WA={merged['wa_total']:.2f} "
+          f"(log={merged['wa_log']:.2f}, pg={merged['wa_pg']:.2f}, "
+          f"e={merged['wa_e']:.2f}) "
+          f"keys={merged['final_keys']} "
+          f"physical={merged['physical_bytes_written'] / 1e6:.2f}MB")
+    for kind, digest in merged["op_latency"].items():
+        print(f"  {kind}: n={digest['n']} p50={digest['p50'] * 1e6:.1f}us "
+              f"p99={digest['p99'] * 1e6:.1f}us")
+    return 0
+
+
 def cmd_serve_sim(args: argparse.Namespace) -> int:
     """``repro serve-sim``: the multi-client serving-layer simulation.
 
@@ -513,7 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="systematic crash-point and fault-injection campaign")
     flt_p.add_argument("--systems", default="bminus,btree-det-shadow,"
                        "btree-journal,btree-shadow-table,"
-                       "bminus-group,lsm-group",
+                       "bminus-group,lsm-group,shard-split",
                        help="comma-separated system list (see "
                             "repro.bench.faultcheck.FAULTCHECK_SYSTEMS)")
     flt_p.add_argument("--ops", type=int, default=200,
@@ -526,6 +570,25 @@ def build_parser() -> argparse.ArgumentParser:
     flt_p.add_argument("--json", action="store_true",
                        help="emit the full JSON report instead of a summary")
     flt_p.set_defaults(func=cmd_faultcheck)
+
+    shd_p = sub.add_parser(
+        "shard-sim",
+        help="sharded multi-device scale-out simulation (merged WA tables)")
+    shd_p.add_argument("--system", choices=("bminus", "lsm"), default="bminus")
+    shd_p.add_argument("--shards", type=int, default=4,
+                       help="independent engine+device stacks")
+    shd_p.add_argument("--partitioning", choices=("hash", "range"),
+                       default="hash")
+    shd_p.add_argument("--ops", type=int, default=400,
+                       help="operations in the deterministic workload")
+    shd_p.add_argument("--device-blocks", type=int, default=4096,
+                       help="4KB blocks per shard device")
+    shd_p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: REPRO_JOBS or 1)")
+    shd_p.add_argument("--seed", type=int, default=2022)
+    shd_p.add_argument("--json", action="store_true",
+                       help="emit the full JSON report")
+    shd_p.set_defaults(func=cmd_shard_sim)
 
     srv_p = sub.add_parser(
         "serve-sim",

@@ -1,0 +1,22 @@
+"""Sharded multi-device scale-out (see :mod:`repro.shard.router`)."""
+
+from repro.shard.manifest import RoutingManifest
+from repro.shard.router import (
+    PartitionMap,
+    ShardConfig,
+    ShardRouter,
+    hash_token,
+    make_engine,
+)
+from repro.shard.sim import ShardSimResult, run_shard_sim
+
+__all__ = [
+    "PartitionMap",
+    "RoutingManifest",
+    "ShardConfig",
+    "ShardRouter",
+    "ShardSimResult",
+    "hash_token",
+    "make_engine",
+    "run_shard_sim",
+]

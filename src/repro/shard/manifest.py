@@ -1,0 +1,160 @@
+"""The journaled routing-table manifest: the shard router's WAL.
+
+A :class:`ShardRouter` must survive a crash at *any* write boundary of an
+online shard split and come back with either the pre-split or the post-split
+routing table — never a hybrid, never with keys owned by nobody or by two
+shards.  The mechanism is a dedicated meta block device holding an
+append-only journal of checksummed routing records:
+
+* every record is a full self-contained snapshot of the routing state
+  (partition map, stack count, optional migration descriptor), serialised
+  to canonical JSON and framed by a header with a CRC32 over the payload;
+* records are appended at block granularity with a single multi-block
+  write followed by a flush, so a record is durable before the split
+  advances to its next phase;
+* recovery scans the journal from block 0 and stops at the first invalid
+  frame.  Because appends are strictly sequential, a torn or dropped tail
+  write can only affect the *last* record — the scan then yields the last
+  complete record, which by construction describes a consistent routing
+  table (the crash-interrupted phase re-runs or rolls back idempotently).
+
+The journal is append-only for the life of the router (no compaction): a
+split costs three records, and the meta device is sized for hundreds of
+them.  Exhausting it raises :class:`~repro.errors.ShardManifestError`
+rather than overwriting history in place, which would reintroduce exactly
+the torn-update window the journal exists to close.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import List, Optional, Tuple
+
+from repro.csd.device import BLOCK_SIZE
+from repro.errors import ShardManifestError
+
+#: Frame header: magic, epoch, payload length, CRC32 of the payload.
+_HDR = struct.Struct("<4sIII")
+_MAGIC = b"SHRD"
+
+#: Routing-record states (see :mod:`repro.shard.router` for the protocol).
+STATE_ACTIVE = "active"
+STATE_MIGRATING = "migrating"
+
+
+def pack_record(record: dict) -> bytes:
+    """Frame one routing record into whole journal blocks.
+
+    The payload is canonical JSON (sorted keys, no whitespace churn), so
+    identical routing states always serialise to identical bytes — the
+    differential suite relies on journal bytes being a pure function of the
+    routing history.
+    """
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+    framed = _HDR.pack(_MAGIC, record["epoch"], len(payload), zlib.crc32(payload))
+    framed += payload
+    padded = -len(framed) % BLOCK_SIZE
+    return framed + bytes(padded)
+
+
+def unpack_record(raw: bytes) -> Optional[dict]:
+    """Parse a record starting at ``raw[0]``; None if the frame is invalid."""
+    if len(raw) < _HDR.size:
+        return None
+    magic, _epoch, length, crc = _HDR.unpack_from(raw, 0)
+    if magic != _MAGIC or _HDR.size + length > len(raw):
+        return None
+    payload = raw[_HDR.size : _HDR.size + length]
+    if zlib.crc32(payload) != crc:
+        return None
+    return json.loads(payload)
+
+
+class RoutingManifest:
+    """Append-only journal of routing records on a dedicated meta device."""
+
+    def __init__(self, device, start_block: int = 0, num_blocks: Optional[int] = None):
+        self.device = device
+        self.start_block = start_block
+        self.num_blocks = (
+            num_blocks if num_blocks is not None else device.num_blocks - start_block
+        )
+        #: Next free block (relative to ``start_block``); set by :meth:`scan`.
+        self._cursor = 0
+
+    # -------------------------------------------------------------- append
+
+    def append(self, record: dict) -> None:
+        """Durably append one routing record (one write + one flush).
+
+        The record is not considered part of the routing history until the
+        flush returns: the split protocol only moves to its next phase after
+        this method, so a crash anywhere inside it leaves — at worst — a
+        torn tail frame that recovery skips.
+        """
+        framed = pack_record(record)
+        blocks = len(framed) // BLOCK_SIZE
+        if self._cursor + blocks > self.num_blocks:
+            raise ShardManifestError(
+                f"routing journal full: record needs {blocks} block(s), "
+                f"{self.num_blocks - self._cursor} free of {self.num_blocks}"
+            )
+        self.device.write_blocks(self.start_block + self._cursor, framed)
+        self.device.flush()
+        self._cursor += blocks
+
+    # ---------------------------------------------------------------- scan
+
+    def scan(self) -> List[dict]:
+        """Read every complete record in append order; position the cursor.
+
+        Stops at the first invalid frame (unwritten space, or the torn tail
+        of a crash-interrupted append).  The cursor lands just past the last
+        complete record, so the next :meth:`append` overwrites any torn
+        garbage instead of leaving a hole.
+        """
+        records: List[dict] = []
+        cursor = 0
+        while cursor < self.num_blocks:
+            head = self.device.read_block(self.start_block + cursor)
+            magic, _epoch, length, _crc = (
+                _HDR.unpack_from(head, 0) if len(head) >= _HDR.size else (b"", 0, 0, 0)
+            )
+            if magic != _MAGIC:
+                break
+            blocks = (_HDR.size + length + BLOCK_SIZE - 1) // BLOCK_SIZE
+            if cursor + blocks > self.num_blocks:
+                break
+            raw = head
+            if blocks > 1:
+                raw += self.device.read_blocks(
+                    self.start_block + cursor + 1, blocks - 1
+                )
+            record = unpack_record(raw)
+            if record is None:
+                break
+            records.append(record)
+            cursor += blocks
+        self._cursor = cursor
+        return records
+
+    def latest(self) -> Tuple[dict, List[dict]]:
+        """The last complete record plus the full history (for recovery)."""
+        records = self.scan()
+        if not records:
+            raise ShardManifestError(
+                "no valid routing record on the meta device; "
+                "was the router ever created?"
+            )
+        return records[-1], records
+
+
+__all__ = [
+    "RoutingManifest",
+    "STATE_ACTIVE",
+    "STATE_MIGRATING",
+    "pack_record",
+    "unpack_record",
+]

@@ -1,0 +1,591 @@
+"""Sharded multi-device scale-out: the :class:`ShardRouter`.
+
+The paper's evaluation runs 150–500GB per device; a single simulated stack
+cannot hold that.  The router partitions the keyspace across N completely
+independent engine+:class:`~repro.csd.device.CompressedBlockDevice` stacks —
+each shard a full batch-API engine with its own WAL, pager, and drive — and
+presents the same KV surface as one engine:
+
+* **routing** — a key maps to a *token* (its CRC32 for hash partitioning,
+  its own bytes for range partitioning) and the token to a shard via an
+  ordered partition table of half-open intervals ``[low, high)``;
+* **scatter/gather** — ``put_batch``/``get_batch``/``delete_batch`` split a
+  batch by owning shard *preserving arrival order within each shard*, apply
+  per shard in shard-id order, and gather get-results back into the
+  caller's positions.  Because shards share no state, this is observably
+  identical to the unsharded sequential replay (proven differentially in
+  ``tests/shard/``);
+* **merged accounting** — cumulative counters (``DeviceStats``,
+  ``TrafficSnapshot``, ``FaultStats``) sum exactly across stacks, so the
+  fleet WA report is ``compute_wa`` over the summed traffic; latency
+  histograms merge bucket-exactly in :mod:`repro.obs.hist`.
+
+Crash-safe online shard split
+-----------------------------
+
+``split_shard`` migrates the upper part of a shard's token interval to a
+brand-new stack.  Every phase transition is journaled to the
+:class:`~repro.shard.manifest.RoutingManifest` on a dedicated meta device
+*before* the phase runs, so a crash at any write boundary recovers to
+exactly one of two states:
+
+1. ``MIGRATING`` record appended (pre-split table + migration descriptor);
+2. copy the migrating token range into the new stack; commit + flush it;
+3. ``ACTIVE`` record with the **post-split table** appended — *this is the
+   commit point*;
+4. cleanup: delete the migrated keys from the source shard; commit + flush;
+5. plain ``ACTIVE`` seal record appended.
+
+Recovery (:meth:`ShardRouter.open`) reads the last complete record: a
+``MIGRATING`` tail rolls back (pre-split table; the half-copied destination
+stack is an orphan and its shard id is burned); an ``ACTIVE`` tail that
+still carries a migration descriptor rolls forward (post-split table;
+cleanup re-runs idempotently — it enumerates the keys actually present in
+the migrated range, so replaying it after a partial run deletes exactly the
+stragglers).  In both cases every key is owned by exactly one shard and no
+key is lost: the source shard is only mutated *after* the commit point, and
+the destination only *before* it.  The ``faultcheck`` shard-split SUT
+crashes this protocol at every device write/TRIM/flush boundary in drop and
+torn modes to prove it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.bminus import BMinusConfig, BMinusTree
+from repro.csd.device import BLOCK_SIZE, CompressedBlockDevice
+from repro.csd.stats import DeviceStats
+from repro.errors import ConfigError, ShardMigrationError
+from repro.lsm.engine import LSMConfig, LSMEngine
+from repro.metrics.counters import TrafficSnapshot, WaReport, compute_wa
+from repro.metrics.faults import FaultStats
+from repro.shard.manifest import RoutingManifest, STATE_ACTIVE, STATE_MIGRATING
+
+#: Suppress periodic checkpoints in shard stacks (the sim clock only moves
+#: when a caller ticks it, but the config should not rely on that).
+_NO_CHECKPOINT = 1e18
+
+#: Hash tokens are CRC32 values — 4 bytes, big-endian so byte order is
+#: numeric order and interval routing works on raw byte comparison.
+_HASH_TOKEN_BYTES = 4
+#: Default range-mode boundaries are drawn from a 64-bit token space.
+_RANGE_TOKEN_BYTES = 8
+
+
+def hash_token(key: bytes) -> bytes:
+    """The hash-partitioning token of a key (stable across rebuilds)."""
+    return zlib.crc32(key).to_bytes(_HASH_TOKEN_BYTES, "big")
+
+
+@dataclass
+class ShardConfig:
+    """Topology of a sharded deployment.
+
+    ``engine_options`` override the per-shard engine config fields; every
+    shard gets an identical config, so a 1-shard router builds *exactly* the
+    stack ``make_engine`` would build bare (the differential suite depends
+    on this).
+    """
+
+    n_shards: int = 2
+    partitioning: str = "hash"  # hash | range
+    engine: str = "bminus"  # bminus | lsm
+    device_blocks: int = 4096
+    meta_blocks: int = 64
+    #: Range mode only: ``n_shards - 1`` ascending split keys.  Omitted,
+    #: the keyspace splits uniformly over 64-bit key prefixes.
+    boundaries: Optional[Sequence[bytes]] = None
+    engine_options: dict = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigError("n_shards must be >= 1")
+        if self.partitioning not in ("hash", "range"):
+            raise ConfigError(f"unknown partitioning {self.partitioning!r}")
+        if self.engine not in ("bminus", "lsm"):
+            raise ConfigError(f"unknown shard engine {self.engine!r}")
+        if self.boundaries is not None:
+            if self.partitioning != "range":
+                raise ConfigError("boundaries only apply to range partitioning")
+            if len(self.boundaries) != self.n_shards - 1:
+                raise ConfigError(
+                    f"need {self.n_shards - 1} boundaries, got {len(self.boundaries)}"
+                )
+            lows = list(self.boundaries)
+            if any(not b for b in lows) or sorted(set(lows)) != lows:
+                raise ConfigError("boundaries must be non-empty and strictly ascending")
+
+
+def make_engine(config: ShardConfig, device, open_existing: bool = False):
+    """Build (or crash-recover) one shard's engine stack on ``device``.
+
+    Module-level and config-driven so the differential tests and the
+    parallel sim workers construct bit-identical stacks from a spec alone.
+    Commit-durable logging is forced: the split protocol's commit/flush
+    barriers assume ``commit()`` makes the shard durable.
+    """
+    if config.engine == "bminus":
+        bopts = dict(
+            page_size=BLOCK_SIZE,
+            cache_bytes=64 * BLOCK_SIZE,
+            threshold_t=512,
+            segment_size=128,
+            wal_mode="sparse",
+            log_flush_policy="commit",
+            checkpoint_interval=_NO_CHECKPOINT,
+            max_pages=512,
+            log_blocks=1024,
+        )
+        bopts.update(config.engine_options)
+        bcfg = BMinusConfig(**bopts)
+        return (BMinusTree.open if open_existing else BMinusTree)(device, bcfg)
+    lopts = dict(
+        memtable_bytes=32 * 1024,
+        log_blocks=1024,
+        log_flush_policy="commit",
+    )
+    lopts.update(config.engine_options)
+    lcfg = LSMConfig(**lopts)
+    return (LSMEngine.open if open_existing else LSMEngine)(device, lcfg)
+
+
+class PartitionMap:
+    """An ordered table of half-open token intervals ``[low, high) -> shard``.
+
+    The first entry's low is always ``b""`` (nothing sorts below the empty
+    string), so every token lands in exactly one interval — the routing
+    totality the property tests fuzz.
+    """
+
+    def __init__(self, entries: Sequence[Tuple[bytes, int]]):
+        entries = list(entries)
+        if not entries or entries[0][0] != b"":
+            raise ConfigError("partition table must start at the empty token")
+        lows = [low for low, _ in entries]
+        if sorted(set(lows)) != lows:
+            raise ConfigError("partition lows must be strictly ascending")
+        ids = [sid for _, sid in entries]
+        if len(set(ids)) != len(ids):
+            raise ConfigError("each shard may own exactly one interval")
+        self.entries: List[Tuple[bytes, int]] = entries
+        self._lows = lows
+
+    def shard_of(self, token: bytes) -> int:
+        return self.entries[bisect_right(self._lows, token) - 1][1]
+
+    def interval(self, shard_id: int) -> Tuple[bytes, Optional[bytes]]:
+        """The ``[low, high)`` interval a shard owns (high None = +inf)."""
+        for i, (low, sid) in enumerate(self.entries):
+            if sid == shard_id:
+                high = self.entries[i + 1][0] if i + 1 < len(self.entries) else None
+                return low, high
+        raise ShardMigrationError(f"shard {shard_id} owns no interval")
+
+    def split(self, shard_id: int, token: bytes, new_id: int) -> "PartitionMap":
+        """The post-split table: ``[token, old_high)`` moves to ``new_id``."""
+        low, high = self.interval(shard_id)
+        if not (low < token and (high is None or token < high)):
+            raise ShardMigrationError(
+                f"split token {token!r} outside shard {shard_id}'s interval "
+                f"[{low!r}, {high!r})"
+            )
+        out = list(self.entries)
+        index = next(i for i, (_, sid) in enumerate(out) if sid == shard_id)
+        out.insert(index + 1, (token, new_id))
+        return PartitionMap(out)
+
+    @property
+    def shard_ids(self) -> List[int]:
+        return [sid for _, sid in self.entries]
+
+    def to_json(self) -> List[List[object]]:
+        return [[low.hex(), sid] for low, sid in self.entries]
+
+    @classmethod
+    def from_json(cls, raw: Sequence[Sequence[object]]) -> "PartitionMap":
+        return cls([(bytes.fromhex(str(low)), int(sid)) for low, sid in raw])
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PartitionMap) and self.entries == other.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _initial_table(config: ShardConfig) -> PartitionMap:
+    n = config.n_shards
+    if config.partitioning == "hash":
+        space = 1 << (8 * _HASH_TOKEN_BYTES)
+        lows = [(i * space // n).to_bytes(_HASH_TOKEN_BYTES, "big") for i in range(n)]
+        lows[0] = b""
+    elif config.boundaries is not None:
+        lows = [b""] + [bytes(b) for b in config.boundaries]
+    else:
+        space = 1 << (8 * _RANGE_TOKEN_BYTES)
+        lows = [(i * space // n).to_bytes(_RANGE_TOKEN_BYTES, "big") for i in range(n)]
+        lows[0] = b""
+    return PartitionMap(list(zip(lows, range(n))))
+
+
+class ShardRouter:
+    """N independent engine stacks behind one KV surface (see module doc)."""
+
+    def __init__(
+        self,
+        config: ShardConfig,
+        table: PartitionMap,
+        stacks: Dict[int, object],
+        devices: Dict[int, object],
+        meta_device,
+        manifest: RoutingManifest,
+        epoch: int,
+        stacks_created: int,
+        device_factory: Optional[Callable[[], object]] = None,
+    ):
+        self.config = config
+        self.table = table
+        self.stacks = stacks
+        self.devices = devices
+        self.meta_device = meta_device
+        self.manifest = manifest
+        self.epoch = epoch
+        #: Total stack ids ever allocated; an aborted split burns its id so
+        #: a half-written orphan device can never be mistaken for live.
+        self.stacks_created = stacks_created
+        self.device_factory = device_factory or (
+            lambda: CompressedBlockDevice(config.device_blocks)
+        )
+        #: Recovery outcome counters (crash-test observability).
+        self.rolled_back_migrations = 0
+        self.resumed_cleanups = 0
+
+    # ----------------------------------------------------------- lifecycle
+
+    @classmethod
+    def create(
+        cls,
+        config: ShardConfig,
+        devices: Optional[Sequence[object]] = None,
+        meta_device=None,
+        device_factory: Optional[Callable[[], object]] = None,
+    ) -> "ShardRouter":
+        config.validate()
+        factory = device_factory or (
+            lambda: CompressedBlockDevice(config.device_blocks)
+        )
+        if devices is None:
+            devices = [factory() for _ in range(config.n_shards)]
+        if len(devices) != config.n_shards:
+            raise ConfigError(
+                f"need {config.n_shards} shard devices, got {len(devices)}"
+            )
+        meta_device = meta_device or CompressedBlockDevice(config.meta_blocks)
+        table = _initial_table(config)
+        device_map = dict(enumerate(devices))
+        stacks = {
+            sid: make_engine(config, device_map[sid]) for sid in table.shard_ids
+        }
+        manifest = RoutingManifest(meta_device)
+        router = cls(
+            config, table, stacks, device_map, meta_device, manifest,
+            epoch=0, stacks_created=config.n_shards, device_factory=factory,
+        )
+        manifest.append(router._record(STATE_ACTIVE))
+        return router
+
+    @classmethod
+    def open(
+        cls,
+        config: ShardConfig,
+        devices: Dict[int, object],
+        meta_device,
+        device_factory: Optional[Callable[[], object]] = None,
+    ) -> "ShardRouter":
+        """Recover a router after a crash (or reopen a healthy one).
+
+        ``devices`` maps stack id -> device for every stack the final
+        routing table may reference.  Extra entries (an orphaned split
+        destination) are ignored.
+        """
+        config.validate()
+        manifest = RoutingManifest(meta_device)
+        last, _history = manifest.latest()
+        rolled_back = resumed = 0
+        if last["state"] == STATE_MIGRATING:
+            # Crash before the commit point: the pre-split table (carried by
+            # the MIGRATING record itself) is the truth; the half-copied
+            # destination stack is an orphan and its id stays burned.
+            rollback = dict(last)
+            rollback["state"] = STATE_ACTIVE
+            rollback["migration"] = None
+            rollback["epoch"] = last["epoch"] + 1
+            manifest.append(rollback)
+            last = rollback
+            rolled_back = 1
+        table = PartitionMap.from_json(last["table"])
+        stacks = {
+            sid: make_engine(config, devices[sid], open_existing=True)
+            for sid in table.shard_ids
+        }
+        router = cls(
+            config, table, stacks, dict(devices), meta_device, manifest,
+            epoch=last["epoch"], stacks_created=last["stacks"],
+            device_factory=device_factory,
+        )
+        migration = last.get("migration")
+        if migration is not None:
+            # Crash after the commit point: the post-split table already
+            # rules, but cleanup may have been interrupted — re-run it (it
+            # only deletes keys actually present in the migrated range, so
+            # replaying is idempotent) and seal.
+            router._cleanup_migration(migration)
+            router._seal_migration()
+            resumed = 1
+        router.rolled_back_migrations = rolled_back
+        router.resumed_cleanups = resumed
+        return router
+
+    def close(self) -> None:
+        for sid in sorted(self.stacks):
+            self.stacks[sid].close()
+
+    # ------------------------------------------------------------- routing
+
+    def token(self, key: bytes) -> bytes:
+        return hash_token(key) if self.config.partitioning == "hash" else key
+
+    def route(self, key: bytes) -> int:
+        return self.table.shard_of(self.token(key))
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.table)
+
+    # -------------------------------------------------------------- KV API
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.stacks[self.route(key)].put(key, value)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self.stacks[self.route(key)].get(key)
+
+    def delete(self, key: bytes) -> None:
+        self.stacks[self.route(key)].delete(key)
+
+    def put_batch(self, items: List[Tuple[bytes, bytes]]) -> None:
+        """Scatter a batch by owning shard, preserving per-shard op order."""
+        groups: Dict[int, List[Tuple[bytes, bytes]]] = {}
+        for key, value in items:
+            groups.setdefault(self.route(key), []).append((key, value))
+        for sid in sorted(groups):
+            self.stacks[sid].put_batch(groups[sid])
+
+    def get_batch(self, keys: List[bytes]) -> List[Optional[bytes]]:
+        """Scatter lookups, gather results back into the caller's order."""
+        groups: Dict[int, List[bytes]] = {}
+        positions: Dict[int, List[int]] = {}
+        for index, key in enumerate(keys):
+            sid = self.route(key)
+            groups.setdefault(sid, []).append(key)
+            positions.setdefault(sid, []).append(index)
+        out: List[Optional[bytes]] = [None] * len(keys)
+        for sid in sorted(groups):
+            for index, value in zip(positions[sid], self.stacks[sid].get_batch(groups[sid])):
+                out[index] = value
+        return out
+
+    def delete_batch(self, keys: List[bytes]) -> None:
+        groups: Dict[int, List[bytes]] = {}
+        for key in keys:
+            groups.setdefault(self.route(key), []).append(key)
+        for sid in sorted(groups):
+            self.stacks[sid].delete_batch(groups[sid])
+
+    def commit(self) -> None:
+        for sid in sorted(self.stacks):
+            self.stacks[sid].commit()
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Globally key-ordered items, each key served by its owning shard.
+
+        The ownership filter makes the merge exact even if a shard holds
+        stragglers from an interrupted migration cleanup: a key copied to
+        the destination but not yet deleted from the source is yielded once,
+        by the owner the routing table names.
+        """
+        def owned_items(sid: int) -> Iterator[Tuple[bytes, bytes]]:
+            for key, value in self.stacks[sid].items():
+                if self.route(key) == sid:
+                    yield key, value
+
+        return heapq.merge(*(owned_items(sid) for sid in sorted(self.stacks)))
+
+    # -------------------------------------------------------- shard split
+
+    def _record(self, state: str, migration: Optional[dict] = None) -> dict:
+        return {
+            "epoch": self.epoch,
+            "state": state,
+            "partitioning": self.config.partitioning,
+            "table": self.table.to_json(),
+            "stacks": self.stacks_created,
+            "migration": migration,
+        }
+
+    def split_shard(
+        self,
+        shard_id: int,
+        token: Optional[bytes] = None,
+        device=None,
+    ) -> int:
+        """Migrate ``[token, high)`` of a shard to a new stack (crash-safe).
+
+        Defaults: ``token`` is the median token of the source shard's live
+        keys (an even data split); ``device`` comes from the router's device
+        factory.  Returns the new shard's id.
+        """
+        if shard_id not in self.stacks:
+            raise ShardMigrationError(f"unknown shard {shard_id}")
+        source = self.stacks[shard_id]
+        low, high = self.table.interval(shard_id)
+        if token is None:
+            tokens = sorted(self.token(key) for key, _ in source.items())
+            if not tokens:
+                raise ShardMigrationError(
+                    f"shard {shard_id} is empty; pass an explicit split token"
+                )
+            token = tokens[len(tokens) // 2]
+        if not (low < token and (high is None or token < high)):
+            raise ShardMigrationError(
+                f"split token {token!r} outside shard {shard_id}'s interval"
+            )
+        new_id = self.stacks_created
+        post_table = self.table.split(shard_id, token, new_id)
+        migration = {
+            "src": shard_id,
+            "dst": new_id,
+            "token": token.hex(),
+            "high": high.hex() if high is not None else None,
+        }
+
+        # Phase 1 — intent: journal the migration before any data moves.
+        self.stacks_created += 1
+        self.manifest.append(self._record(STATE_MIGRATING, migration))
+
+        # Phase 2 — copy: build the destination stack and copy the
+        # migrating token range into it, durably.  Only the destination is
+        # written, so a crash anywhere here rolls back to pre-split.
+        dst_device = device if device is not None else self.device_factory()
+        dst = make_engine(self.config, dst_device)
+        moving = [
+            (key, value)
+            for key, value in source.items()
+            if token <= self.token(key)
+            and (high is None or self.token(key) < high)
+        ]
+        if moving:
+            dst.put_batch(moving)
+        dst.commit()
+        dst_device.flush()
+
+        # Phase 3 — commit point: the post-split table becomes the truth.
+        self.table = post_table
+        self.stacks[new_id] = dst
+        self.devices[new_id] = dst_device
+        self.epoch += 1
+        self.manifest.append(self._record(STATE_ACTIVE, migration))
+
+        # Phase 4 — cleanup + seal: drop the migrated keys from the source.
+        self._cleanup_migration(migration)
+        self._seal_migration()
+        return new_id
+
+    def _cleanup_migration(self, migration: dict) -> None:
+        """Delete migrated keys still present on the source (idempotent)."""
+        token = bytes.fromhex(migration["token"])
+        high = (
+            bytes.fromhex(migration["high"])
+            if migration["high"] is not None
+            else None
+        )
+        source = self.stacks[migration["src"]]
+        stale = [
+            key
+            for key, _ in source.items()
+            if token <= self.token(key) and (high is None or self.token(key) < high)
+        ]
+        if stale:
+            source.delete_batch(stale)
+            source.commit()
+            self.devices[migration["src"]].flush()
+
+    def _seal_migration(self) -> None:
+        self.epoch += 1
+        self.manifest.append(self._record(STATE_ACTIVE))
+
+    # --------------------------------------------------- merged accounting
+
+    def device_stats(self) -> DeviceStats:
+        """Summed shard-device stats (meta journal reported separately)."""
+        total = DeviceStats()
+        for sid in sorted(self.devices):
+            if sid in self.stacks:
+                total = total + self.devices[sid].stats
+        return total
+
+    def traffic_snapshot(self) -> TrafficSnapshot:
+        total = TrafficSnapshot()
+        for sid in sorted(self.stacks):
+            total = total + self.stacks[sid].traffic_snapshot()
+        return total
+
+    def fault_stats(self) -> FaultStats:
+        total = FaultStats()
+        for sid in sorted(self.stacks):
+            stats = getattr(self.stacks[sid], "fault_stats", None)
+            if stats is not None:
+                total = total + stats
+        return total
+
+    def wa_report(self) -> WaReport:
+        """Fleet-wide WA: ``compute_wa`` over the exact summed traffic."""
+        return compute_wa(self.traffic_snapshot())
+
+    def shard_wa_reports(self) -> Dict[int, WaReport]:
+        return {
+            sid: compute_wa(self.stacks[sid].traffic_snapshot())
+            for sid in sorted(self.stacks)
+        }
+
+    def topology(self) -> List[dict]:
+        """One row per shard: interval, engine, device traffic (CLI/JSON)."""
+        rows = []
+        for low, sid in self.table.entries:
+            _, high = self.table.interval(sid)
+            stats = self.devices[sid].stats
+            rows.append(
+                {
+                    "shard": sid,
+                    "low": low.hex(),
+                    "high": high.hex() if high is not None else None,
+                    "engine": self.config.engine,
+                    "write_ios": stats.write_ios,
+                    "logical_bytes_written": stats.logical_bytes_written,
+                    "physical_bytes_written": stats.physical_bytes_written,
+                }
+            )
+        return rows
+
+
+__all__ = [
+    "PartitionMap",
+    "ShardConfig",
+    "ShardRouter",
+    "hash_token",
+    "make_engine",
+]

@@ -111,6 +111,15 @@ def test_par005_flags_worker_mutations_only():
     assert len(findings) == 4
 
 
+def test_par005_covers_shard_pool_workers():
+    """Workers handed to the generic run_tasks dispatcher (the shard pool)
+    are held to the same purity rules, positionally and via worker=."""
+    findings = fixture_findings("engine/par005_shard_bad.py", rules_only("PAR005"))
+    workers = {f.message.split("`")[1] for f in findings}
+    assert workers == {"shard_worker", "gather_worker"}
+    assert len(findings) == 2  # clean_shard_worker stays clean
+
+
 # ------------------------------------------------------------------ TRC006
 
 

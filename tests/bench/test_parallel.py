@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.harness import ExperimentSpec, run_wa_experiment
-from repro.bench.parallel import default_jobs, detach_result, run_grid, run_specs
+from repro.bench.parallel import (
+    default_jobs,
+    detach_result,
+    run_grid,
+    run_specs,
+    run_tasks,
+)
 from repro.errors import ConfigError
 
 
@@ -100,6 +106,30 @@ class TestRunGrid:
         grid = run_grid({"only": spec}, jobs=1)
         direct = run_wa_experiment(spec)
         assert fingerprint(grid["only"]) == fingerprint(direct)
+
+
+def square_worker(task):
+    """Module-level (picklable by reference), pure: PAR005's worker contract."""
+    return task * task
+
+
+class TestRunTasks:
+    def test_results_in_task_order(self):
+        assert run_tasks([3, 1, 2], square_worker, jobs=1) == [9, 1, 4]
+
+    def test_pool_path_matches_serial(self):
+        tasks = list(range(7))
+        assert run_tasks(tasks, square_worker, jobs=2) == [
+            square_worker(t) for t in tasks
+        ]
+
+    def test_single_task_stays_serial(self):
+        # Same shortcut run_specs takes: no pool for a single unit of work,
+        # so a local closure is fine here (nothing gets pickled).
+        assert run_tasks([5], lambda t: t + 1, jobs=4) == [6]
+
+    def test_empty_task_list(self):
+        assert run_tasks([], square_worker, jobs=3) == []
 
 
 class TestDetachResult:

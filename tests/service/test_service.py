@@ -200,6 +200,46 @@ def test_strict_admission_raises_on_first_shed():
     assert service.stats.shed_overload == 1  # counted before raising
 
 
+def test_admission_pass_examines_only_nonempty_sessions():
+    """Admission cost pin: a pass walks the ready-queue of live sessions;
+    a session leaves the moment its last op is taken and is never scanned
+    again.  Mixed fleet, every op already due: pass 1 scans all nine
+    sessions (the eight one-op sessions drain), passes 2-5 scan only the
+    long session, and the closing no-progress pass scans nothing."""
+    clock = SimClock()
+    service = StorageService(StubEngine(clock), clock, ServiceConfig())
+    sessions = (
+        make_sessions(8, 1, KS, DeterministicRng(5), arrival_interval=1e-9,
+                      stagger=0.0)
+        + make_sessions(1, 5, KS, DeterministicRng(6), arrival_interval=1e-9,
+                        stagger=0.0)
+    )
+    clock.advance(1e-6)  # everything in every stream is now due
+    service._admit_due(sessions)
+    assert service.stats.submitted == 13
+    assert service.admit_session_scans == 9 + 4
+    # Everyone is drained: later rounds cost zero scans, not O(sessions).
+    for _ in range(10):
+        service._admit_due(sessions)
+    assert service.admit_session_scans == 13
+
+
+def test_drained_sessions_cost_nothing_for_the_rest_of_a_serve():
+    """End to end: serving one long session alongside many short ones must
+    not rescan the drained short fleet on every later admission round."""
+    service, sessions, report = _serve(
+        _bminus, n_sessions=30, ops=1, arrival=0.0001,
+        per_op_interval=0.01, deadline=10.0,
+    )
+    assert service.stats.submitted == 30
+    # The fleet drains inside the first service window (per-op service is
+    # 100x the arrival spacing), so only the opening admission rounds ever
+    # see live sessions — about three passes over the fleet in total.  A
+    # full-scan admission would rescan all 30 sessions on every one of the
+    # many later rounds of the serve loop.
+    assert service.admit_session_scans <= 3 * len(sessions)
+
+
 # --------------------------------------------------------------- deadlines
 
 

@@ -99,6 +99,42 @@ def test_group_sut_acceptance_includes_the_full_inflight_window():
     assert not crash.as_dict()["failures"]
 
 
+def test_shard_split_sut_recovers_pre_or_post_split_at_every_boundary():
+    """The sharded SUT crashes an online shard split at device boundaries on
+    every device (shards, destination, meta journal) in drop and torn modes;
+    recovery must serve exactly the populated keys with a 2- or 3-shard
+    table — no lost keys, no duplicates, no hybrid routing."""
+    from repro.bench.faultcheck import run_shard_split_schedule
+
+    crash = run_shard_split_schedule(seed=2022, budget=4, ops=60)
+    report = crash.as_dict()
+    assert not report["failures"], report["failures"]
+    assert report["tested"] == report["crashes_fired"] == 8  # 4 points x 2 modes
+    assert report["mutation_points"] > 0
+
+
+def test_shard_split_sut_covers_both_engines():
+    from repro.bench.faultcheck import run_shard_split_schedule
+
+    crash = run_shard_split_schedule(
+        seed=2022, budget=2, ops=50, engine="lsm", partitioning="range"
+    )
+    assert not crash.as_dict()["failures"]
+    assert crash.crashes_fired == 4
+
+
+def test_shard_split_registered_in_campaign_and_cli_defaults():
+    assert "shard-split" in FAULTCHECK_SYSTEMS
+    report = run_faultcheck(["shard-split"], ops=60, budget=2, trials=1,
+                            seed=2022)
+    assert report["passed"], format_report(report)
+    entry = report["systems"]["shard-split"]
+    assert entry["crash_points"]["failures"] == []
+    assert entry["fault_trials"]["trials"] == 0  # multi-device: no trial phase
+    text = format_report(report)
+    assert "shard-split" in text and "PASSED" in text
+
+
 def test_lsm_group_sut_skips_probabilistic_fault_trials():
     sut = _make_suts()["lsm-group"]
     assert sut.fault_trials is False
