@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from repro.analysis.framework import (
     Finding,
+    ProjectRule,
     Rule,
     all_rules,
     analyze_file,
@@ -38,6 +39,7 @@ from repro.analysis.framework import (
 
 __all__ = [
     "Finding",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "analyze_file",

@@ -76,6 +76,10 @@ class FileContext:
         self.lines = source.splitlines()
         #: Path components, used for scope decisions (e.g. "inside csd/").
         self.parts: Tuple[str, ...] = Path(path).parts
+        #: Whole-program view (:class:`repro.analysis.project.ProjectIndex`),
+        #: attached by the drivers before rules run.  Single-file analyses
+        #: get a project built over just that file, so rules can rely on it.
+        self.project = None
         self._parents: Dict[int, ast.AST] = {}
         for node in ast.walk(tree):
             for child in ast.iter_child_nodes(node):
@@ -132,6 +136,10 @@ class Rule:
     title: str = ""
     severity: str = "error"
     invariant: str = ""
+    #: True for per-file rules that consult ``ctx.project`` (summaries); the
+    #: parallel driver keeps these in the parent process, where the shared
+    #: whole-program index lives.
+    needs_project: bool = False
 
     def applies_to(self, ctx: FileContext) -> bool:
         """Scope hook: return False to skip this file entirely."""
@@ -142,6 +150,26 @@ class Rule:
 
     def make(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
         return ctx.finding(self, node, message)
+
+
+class ProjectRule(Rule):
+    """A rule over the whole program rather than one file.
+
+    Project rules run once per analysis, after every file is parsed and the
+    interprocedural summaries are computed; their findings are merged into
+    the per-file streams *before* suppressions apply, so ``# repro: noqa``
+    markers work identically for both rule kinds.
+    """
+
+    needs_project = True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:  # pragma: no cover
+        return ()
+
+    def check_project(
+        self, project, contexts: Sequence[FileContext]
+    ) -> Iterable[Finding]:
+        raise NotImplementedError
 
 
 _REGISTRY: Dict[str, Rule] = {}
@@ -247,41 +275,35 @@ def _parse_suppressions(source: str, known_ids: Sequence[str]) -> List[_Suppress
 # --------------------------------------------------------------------------
 
 
-def analyze_source(
-    source: str,
-    path: str,
-    rules: Optional[Sequence[Rule]] = None,
-) -> List[Finding]:
-    """Run ``rules`` over one in-memory module; returns sorted findings.
+def _parse_error_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1),
+        rule=PARSE_ERROR_ID,
+        severity="error",
+        message=f"file does not parse: {exc.msg}",
+    )
 
-    Inline ``# repro: noqa[RULE]`` suppressions are applied here, and any
-    suppression that matched nothing is reported as ``NQA000`` — an unused
-    escape hatch is treated as lint debt, exactly like a violation.
-    """
-    if rules is None:
-        rules = all_rules()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1),
-                rule=PARSE_ERROR_ID,
-                severity="error",
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    ctx = FileContext(path, source, tree)
+
+def _run_file_rules(ctx: FileContext, rules: Sequence[Rule]) -> List[Finding]:
+    """Run the per-file rules (everything but :class:`ProjectRule`)."""
     raw: List[Finding] = []
     for rule in rules:
+        if isinstance(rule, ProjectRule):
+            continue
         if not rule.applies_to(ctx):
             continue
         raw.extend(rule.check(ctx))
+    return raw
 
+
+def _apply_suppressions(
+    path: str, source: str, raw: Sequence[Finding], selected_ids: Sequence[str]
+) -> List[Finding]:
+    """Apply ``# repro: noqa`` markers; unused markers become ``NQA000``."""
     _ensure_rules_loaded()
-    selected_ids = {rule.id for rule in rules}
+    selected = set(selected_ids)
     # Unknown-id validation is against the full registry: a suppression for a
     # rule that simply wasn't selected this run is not a typo.
     suppressions = _parse_suppressions(source, sorted(_REGISTRY))
@@ -299,9 +321,9 @@ def analyze_source(
             # Usage is only decidable when every rule the marker names (or,
             # for a blanket marker, every rule) actually ran.
             names_unselected = (
-                sup.rules is None and selected_ids != set(_REGISTRY)
+                sup.rules is None and selected != set(_REGISTRY)
             ) or (
-                sup.rules is not None and not set(sup.rules) <= selected_ids
+                sup.rules is not None and not set(sup.rules) <= selected
             )
             if names_unselected:
                 continue
@@ -330,6 +352,55 @@ def analyze_source(
                     message="unused suppression: no finding matches this noqa",
                 )
             )
+    return kept
+
+
+def _build_project(contexts: Sequence[FileContext]):
+    """Build the whole-program index + summaries and attach to contexts."""
+    from repro.analysis.project import build_project
+    from repro.analysis.summaries import compute_summaries
+
+    project = build_project(contexts)
+    compute_summaries(project, {ctx.path: ctx.tree for ctx in contexts})
+    for ctx in contexts:
+        ctx.project = project
+    return project
+
+
+def _run_project_rules(
+    project, contexts: Sequence[FileContext], rules: Sequence[Rule]
+) -> List[Finding]:
+    raw: List[Finding] = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(project, contexts))
+    return raw
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Run ``rules`` over one in-memory module; returns sorted findings.
+
+    The module is analyzed as a one-file project, so interprocedural rules
+    (and ``ctx.project`` consumers like FLT003) see same-file helpers.
+    Inline ``# repro: noqa[RULE]`` suppressions are applied here, and any
+    suppression that matched nothing is reported as ``NQA000`` — an unused
+    escape hatch is treated as lint debt, exactly like a violation.
+    """
+    if rules is None:
+        rules = all_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [_parse_error_finding(path, exc)]
+    ctx = FileContext(path, source, tree)
+    project = _build_project([ctx])
+    raw = _run_file_rules(ctx, rules)
+    raw.extend(_run_project_rules(project, [ctx], rules))
+    kept = _apply_suppressions(path, source, raw, [rule.id for rule in rules])
     return sorted(kept, key=Finding.sort_key)
 
 
@@ -357,17 +428,88 @@ def iter_python_files(paths: Sequence[str]) -> List[str]:
     return sorted(seen)
 
 
+def _lint_file_task(task: Tuple[str, Tuple[str, ...]]) -> List[Finding]:
+    """Pool worker: run the project-independent rules over one file.
+
+    Module-level and returning picklable :class:`Finding` rows, per the
+    ``run_tasks`` contract.  Syntax errors return nothing — the parent
+    parses every file anyway (for the project index) and owns ``AST000``.
+    """
+    path, selected_ids = task
+    rules = [get_rule(rule_id) for rule_id in selected_ids]
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source, filename=path)
+    except (OSError, SyntaxError):
+        return []
+    ctx = FileContext(path, source, tree)
+    return _run_file_rules(ctx, rules)
+
+
 def analyze_paths(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
+    jobs: Optional[int] = None,
 ) -> Tuple[List[Finding], int]:
-    """Analyze every ``.py`` under ``paths``; returns (findings, files_scanned)."""
+    """Analyze every ``.py`` under ``paths``; returns (findings, files_scanned).
+
+    One project index is built over the full file set and shared by every
+    rule (summaries are computed once).  With ``jobs > 1`` the
+    project-independent per-file rules fan out over the ``bench/parallel``
+    worker pool; rules that consult the shared project (``needs_project``)
+    and :class:`ProjectRule` subclasses always run in the parent, and the
+    merged output is sorted, so the report is identical at any job count.
+    """
     if rules is None:
         rules = all_rules()
     files = iter_python_files(paths)
-    findings: List[Finding] = []
+
+    contexts: List[FileContext] = []
+    sources: Dict[str, str] = {}
+    parse_errors: List[Finding] = []
     for path in files:
-        findings.extend(analyze_file(path, rules))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            parse_errors.append(_parse_error_finding(path, exc))
+            continue
+        sources[path] = source
+        contexts.append(FileContext(path, source, tree))
+
+    parallel_rules = [
+        r for r in rules if not isinstance(r, ProjectRule) and not r.needs_project
+    ]
+    parent_rules = [
+        r for r in rules if not isinstance(r, ProjectRule) and r.needs_project
+    ]
+
+    raw_by_path: Dict[str, List[Finding]] = {ctx.path: [] for ctx in contexts}
+    if jobs is not None and jobs > 1 and len(contexts) > 1 and parallel_rules:
+        from repro.bench.parallel import run_tasks
+
+        selected = tuple(rule.id for rule in parallel_rules)
+        tasks = [(ctx.path, selected) for ctx in contexts]
+        for ctx, found in zip(contexts, run_tasks(tasks, _lint_file_task, jobs=jobs)):
+            raw_by_path[ctx.path].extend(found)
+    else:
+        for ctx in contexts:
+            raw_by_path[ctx.path].extend(_run_file_rules(ctx, parallel_rules))
+
+    project = _build_project(contexts)
+    for ctx in contexts:
+        raw_by_path[ctx.path].extend(_run_file_rules(ctx, parent_rules))
+    for finding in _run_project_rules(project, contexts, rules):
+        raw_by_path.setdefault(finding.path, []).append(finding)
+
+    selected_ids = [rule.id for rule in rules]
+    findings: List[Finding] = list(parse_errors)
+    for ctx in contexts:
+        findings.extend(
+            _apply_suppressions(ctx.path, sources[ctx.path], raw_by_path[ctx.path], selected_ids)
+        )
     return sorted(findings, key=Finding.sort_key), len(files)
 
 

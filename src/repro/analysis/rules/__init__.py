@@ -9,12 +9,18 @@ from __future__ import annotations
 
 from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     buf007,
+    crs008,
     det001,
+    err010,
     exc004,
     flt003,
     iod002,
     par005,
+    pur009,
     trc006,
 )
 
-__all__ = ["buf007", "det001", "exc004", "flt003", "iod002", "par005", "trc006"]
+__all__ = [
+    "buf007", "crs008", "det001", "err010", "exc004", "flt003", "iod002",
+    "par005", "pur009", "trc006",
+]

@@ -64,7 +64,7 @@ def _is_counter_increment(node: ast.AugAssign) -> bool:
     return root is not None and any(name in root for name in _STATS_ROOTS)
 
 
-def _handler_accounts(handler: ast.ExceptHandler) -> bool:
+def _handler_accounts(handler: ast.ExceptHandler, ctx: FileContext) -> bool:
     for node in walk_body(handler.body):
         if isinstance(node, ast.Raise):
             return True
@@ -80,6 +80,25 @@ def _handler_accounts(handler: ast.ExceptHandler) -> bool:
                 name = root_name(arg) if isinstance(arg, (ast.Name, ast.Attribute)) else None
                 if name is not None and any(n in name for n in _STATS_ROOTS):
                     return True
+            if _callee_accounts(node, ctx):
+                return True
+    return False
+
+
+def _callee_accounts(call: ast.Call, ctx: FileContext) -> bool:
+    """Interprocedural: a resolved callee whose summary bumps a counter.
+
+    This is what lets a handler delegate the increment to a helper
+    (``self._account_transient()``) without an inline bump or a noqa — the
+    helper's transitive accounts-set comes from the project summaries.
+    """
+    project = ctx.project
+    if project is None or project.summaries is None:
+        return False
+    for info in project.resolve_call(call):
+        summary = project.summaries.get(info.fid)
+        if summary is not None and summary.accounts:
+            return True
     return False
 
 
@@ -88,6 +107,8 @@ class FaultAccounting(Rule):
     id = "FLT003"
     title = "fault/overload handler without stats accounting"
     severity = "error"
+    #: Consults the shared project summaries (helper-delegated accounting).
+    needs_project = True
     invariant = (
         "Every healed fault or absorbed service error increments a "
         "FaultStats/ServiceStats counter (or re-raises); fault campaigns and "
@@ -105,7 +126,7 @@ class FaultAccounting(Rule):
             ]
             if not caught:
                 continue
-            if not _handler_accounts(node):
+            if not _handler_accounts(node, ctx):
                 ledger = (
                     "ServiceStats"
                     if all(name in SERVICE_EXCEPTIONS for name in caught)

@@ -1,0 +1,180 @@
+"""PUR009 — transitive worker purity: the worker's *call closure* is pure.
+
+Scope: the whole tree, minus ``obs/`` (see below).
+
+PAR005 checks that a function handed to a process pool does not mutate
+module-level state — but only inside the worker's **direct body**.  A
+worker that stays textually clean while calling a helper that bumps a
+module-level cache diverges from the serial path just the same; the
+mutation merely moved one frame down.  PUR009 closes that hole: it finds
+every pool worker in the project (``pool.submit``/``pool.map``,
+``run_specs``/``run_grid``/``run_tasks`` positionally or via
+``runner=``/``worker=``, including ``functools.partial(f, ...)`` wrappers
+and dispatcher parameter *defaults*), walks its full resolved call closure,
+and reports any module-level mutation in a callee.  The direct body is
+deliberately left to PAR005 — the two rules partition the property, so one
+violation never reports twice.
+
+Unknown callees are treated *optimistically* (no mutations): the rule
+bounds what resolvable project code does, and the conservative alternative
+would flag every worker that calls a builtin.
+
+``obs/`` modules are exempt: the process-global tracer
+(``obs/trace.TRACER`` install/uninstall) is deliberately fork-local state —
+each worker installs its own tracer and ships the buffer back in its
+result, which is exactly the sanctioned pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.framework import FileContext, Finding, ProjectRule, register
+from repro.analysis.rules.par005 import POOL_DISPATCHERS, WORKER_KEYWORDS, _pool_names
+
+
+def _unwrap_worker_expr(node: ast.AST) -> Optional[str]:
+    """The worker name in ``f``, ``partial(f, ...)``, ``functools.partial(f, ...)``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        if name == "partial" and node.args and isinstance(node.args[0], ast.Name):
+            return node.args[0].id
+    return None
+
+
+@register
+class TransitiveWorkerPurity(ProjectRule):
+    id = "PUR009"
+    title = "pool worker's callee mutates module-level state"
+    severity = "error"
+    invariant = (
+        "A pool worker's entire call closure is a pure function of the "
+        "submitted arguments; mutations hidden in helpers diverge from "
+        "serial runs exactly like mutations in the worker body."
+    )
+
+    def check_project(
+        self, project, contexts: Sequence[FileContext]
+    ) -> Iterable[Finding]:
+        summaries = project.summaries or {}
+        workers = self._find_workers(project, contexts)
+
+        #: mutation site key → finding; first (sorted) worker wins.
+        findings: Dict[Tuple[str, int, int], Finding] = {}
+        for worker_fid in sorted(workers):
+            worker_qual = project.functions[worker_fid].qualname
+            for fid, chain in self._closure(project, worker_fid):
+                info = project.functions[fid]
+                if "obs" in Path(info.path).parts:
+                    continue
+                summary = summaries.get(fid)
+                if summary is None:
+                    continue
+                for site in summary.mutations:
+                    key = (site.path, site.line, site.col)
+                    if key in findings:
+                        continue
+                    via = " -> ".join(chain)
+                    findings[key] = Finding(
+                        path=site.path, line=site.line, col=site.col,
+                        rule=self.id, severity=self.severity,
+                        message=(
+                            f"helper `{info.qualname}` {site.desc}, and is "
+                            f"reached from pool worker `{worker_qual}` "
+                            f"(via {via}); the worker's whole call closure "
+                            f"must be pure"
+                        ),
+                    )
+        return [findings[key] for key in sorted(findings)]
+
+    # ----------------------------------------------------------- discovery
+
+    def _find_workers(
+        self, project, contexts: Sequence[FileContext]
+    ) -> Set[str]:
+        workers: Set[str] = set()
+        for ctx in contexts:
+            pools = _pool_names(ctx.tree)
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.FunctionDef) and node.name in POOL_DISPATCHERS:
+                    # Dispatcher *defaults*: def run_specs(specs, runner=f).
+                    args = node.args
+                    named = list(args.args) + list(args.kwonlyargs)
+                    defaults = (
+                        [None] * (len(args.args) - len(args.defaults))
+                        + list(args.defaults) + list(args.kw_defaults)
+                    )
+                    for arg, default in zip(named, defaults):
+                        if arg.arg in WORKER_KEYWORDS and default is not None:
+                            name = _unwrap_worker_expr(default)
+                            if name:
+                                self._add_worker(project, ctx, name, workers)
+                    continue
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ("submit", "map")
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in pools
+                    and node.args
+                ):
+                    name = _unwrap_worker_expr(node.args[0])
+                    if name:
+                        self._add_worker(project, ctx, name, workers)
+                dispatcher = (
+                    func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+                )
+                if dispatcher in POOL_DISPATCHERS:
+                    for arg in node.args[1:2]:
+                        name = _unwrap_worker_expr(arg)
+                        if name:
+                            self._add_worker(project, ctx, name, workers)
+                    for kw in node.keywords:
+                        if kw.arg in WORKER_KEYWORDS:
+                            name = _unwrap_worker_expr(kw.value)
+                            if name:
+                                self._add_worker(project, ctx, name, workers)
+        return workers
+
+    def _add_worker(
+        self, project, ctx: FileContext, name: str, workers: Set[str]
+    ) -> None:
+        """Resolve a worker name: same-file def first, then the import map."""
+        local = project.module_functions.get(ctx.path, {}).get(name)
+        if local is not None:
+            workers.add(local.fid)
+            return
+        imported = project.imports.get(ctx.path, {}).get(name)
+        if imported is not None:
+            module, symbol = imported
+            target_path = project.module_paths.get(module)
+            if target_path is not None and symbol is not None:
+                target = project.module_functions.get(target_path, {}).get(symbol)
+                if target is not None:
+                    workers.add(target.fid)
+
+    # ------------------------------------------------------------- closure
+
+    def _closure(
+        self, project, worker_fid: str
+    ) -> Iterable[Tuple[str, Tuple[str, ...]]]:
+        """Reachable callees (excluding the worker itself), with call chains."""
+        worker_qual = project.functions[worker_fid].qualname
+        seen: Set[str] = {worker_fid}
+        queue: List[Tuple[str, Tuple[str, ...]]] = [(worker_fid, (worker_qual,))]
+        while queue:
+            fid, chain = queue.pop(0)
+            for callee in sorted(project.edges.get(fid, ())):
+                if callee in seen or callee not in project.functions:
+                    continue
+                seen.add(callee)
+                callee_chain = chain + (project.functions[callee].qualname,)
+                yield callee, callee_chain
+                queue.append((callee, callee_chain))

@@ -46,7 +46,7 @@ from repro.btree.wal import _BLOCK_HDR, _BLOCK_MAGIC
 from repro.core.bminus import BMinusConfig, BMinusTree
 from repro.csd.device import BLOCK_SIZE, CompressedBlockDevice
 from repro.csd.faults import FaultInjectingDevice, FaultPlan, ScriptedFault
-from repro.errors import SimulatedCrashError
+from repro.errors import ConfigError, SimulatedCrashError
 from repro.lsm.engine import LSMConfig, LSMEngine
 
 #: Device span shared by every campaign configuration (all layouts fit).
@@ -819,7 +819,7 @@ def run_faultcheck(
     names = list(systems) if systems else list(FAULTCHECK_SYSTEMS)
     for name in names:
         if name not in suts and name != _SHARD_SPLIT_SYSTEM:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown faultcheck system {name!r}; "
                 f"choose from {sorted(FAULTCHECK_SYSTEMS)}"
             )

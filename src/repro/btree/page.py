@@ -42,7 +42,7 @@ import enum
 import struct
 import zlib
 
-from repro.errors import ChecksumError, PageFormatError
+from repro.errors import ChecksumError, ConfigError, PageFormatError
 
 PAGE_MAGIC = b"BPG1"
 PAGE_HEADER_SIZE = 32
@@ -246,7 +246,7 @@ class Page:
     def dirty_segments(self, segment_size: int) -> list[int]:
         """Dirty segment indices at ``segment_size`` granularity (sorted)."""
         if segment_size % DIRTY_GRAIN != 0 or segment_size <= 0:
-            raise ValueError(f"segment size must be a positive multiple of {DIRTY_GRAIN}")
+            raise ConfigError(f"segment size must be a positive multiple of {DIRTY_GRAIN}")
         scale = segment_size // DIRTY_GRAIN
         return sorted({grain // scale for grain in self.dirty_grains})
 

@@ -291,7 +291,11 @@ class DeltaShadowPager(DeterministicShadowPager):
             # image (any lost updates are the redo log's to replay) and
             # scrub the block so the rot does not linger.
             self.fault_stats.delta_fallbacks += 1
-            self._trim(self._delta_lba(page_id), 1)
+            # Not a shadow flip: this trims a *corrupt* delta after the read
+            # fell back to the base image — it publishes nothing (the base
+            # was already authoritative).  The rule's trim-after-write
+            # heuristic cannot distinguish a scrub from a flip.
+            self._trim(self._delta_lba(page_id), 1)  # repro: noqa[CRS008] scrub of a corrupt delta, not a flip
             self.device.flush()
             self.fault_stats.delta_scrubs += 1
             delta = None

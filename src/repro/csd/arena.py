@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.errors import ConfigError
+
 __all__ = ["ScratchArena"]
 
 
@@ -40,9 +42,9 @@ class ScratchArena:
 
     def __init__(self, slab_size: int, capacity: int = 4) -> None:
         if slab_size <= 0:
-            raise ValueError("slab size must be positive")
+            raise ConfigError("slab size must be positive")
         if capacity < 1:
-            raise ValueError("arena capacity must be at least 1")
+            raise ConfigError("arena capacity must be at least 1")
         self.slab_size = slab_size
         self.capacity = capacity
         self.borrows = 0
@@ -67,7 +69,7 @@ class ScratchArena:
     def release(self, slab: bytearray) -> None:
         """Return a slab to the free list (drop it if the arena is full)."""
         if len(slab) != self.slab_size:
-            raise ValueError(
+            raise ConfigError(
                 f"released slab of {len(slab)} bytes does not match "
                 f"arena slab size {self.slab_size}"
             )

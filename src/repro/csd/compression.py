@@ -37,6 +37,8 @@ from abc import ABC, abstractmethod
 from collections import OrderedDict
 from typing import Tuple, Union
 
+from repro.errors import ConfigError
+
 #: Anything the device layer may hand a compressor: the write paths pass
 #: ``bytes`` or zero-copy ``memoryview`` slices; tests may pass ``bytearray``.
 BytesLike = Union[bytes, bytearray, memoryview]
@@ -119,7 +121,7 @@ class ZlibCompressor(Compressor):
 
     def __init__(self, level: int = 1) -> None:
         if not 1 <= level <= 9:
-            raise ValueError(f"zlib level must be in [1, 9], got {level}")
+            raise ConfigError(f"zlib level must be in [1, 9], got {level}")
         self.level = level
 
     def compressed_size(self, block: BytesLike) -> int:
@@ -151,11 +153,11 @@ class ZeroTailZlibCompressor(Compressor):
         tail_rate: float = ZERO_TAIL_RATE,
     ) -> None:
         if not 1 <= level <= 9:
-            raise ValueError(f"zlib level must be in [1, 9], got {level}")
+            raise ConfigError(f"zlib level must be in [1, 9], got {level}")
         if keep < 0:
-            raise ValueError("keep must be non-negative")
+            raise ConfigError("keep must be non-negative")
         if tail_rate < 0:
-            raise ValueError("tail_rate must be non-negative")
+            raise ConfigError("tail_rate must be non-negative")
         self.level = level
         self.keep = keep
         self.tail_rate = tail_rate
@@ -193,9 +195,9 @@ class ZeroRunEstimator(Compressor):
 
     def __init__(self, entropy_factor: float = 1.0, header_cost: int = ZERO_BLOCK_COST) -> None:
         if not 0.0 < entropy_factor <= 1.0:
-            raise ValueError("entropy_factor must be in (0, 1]")
+            raise ConfigError("entropy_factor must be in (0, 1]")
         if header_cost < 0:
-            raise ValueError("header_cost must be non-negative")
+            raise ConfigError("header_cost must be non-negative")
         self.entropy_factor = entropy_factor
         self.header_cost = header_cost
 
@@ -249,11 +251,11 @@ class SizeCachingCompressor(Compressor):
         min_hit_rate: float = SIZE_CACHE_MIN_HIT_RATE,
     ) -> None:
         if capacity < 1:
-            raise ValueError("cache capacity must be at least 1")
+            raise ConfigError("cache capacity must be at least 1")
         if probe_window < 0:
-            raise ValueError("probe_window must be non-negative")
+            raise ConfigError("probe_window must be non-negative")
         if not 0.0 <= min_hit_rate <= 1.0:
-            raise ValueError("min_hit_rate must be in [0, 1]")
+            raise ConfigError("min_hit_rate must be in [0, 1]")
         self.inner = inner
         self.capacity = capacity
         self.probe_window = probe_window

@@ -40,7 +40,12 @@ from repro.csd.compression import (
 )
 from repro.csd.ftl import FlashTranslationLayer, GreedyGcModel
 from repro.csd.stats import DeviceStats
-from repro.errors import AlignmentError, FaultInjectionError, OutOfRangeError
+from repro.errors import (
+    AlignmentError,
+    ConfigError,
+    FaultInjectionError,
+    OutOfRangeError,
+)
 from repro.obs import trace as _trace
 
 #: I/O unit of the simulated devices, matching the paper's 4KB LBA blocks.
@@ -106,7 +111,7 @@ class BlockDevice(ABC):
         mapping_cost: Optional[int] = None,
     ) -> None:
         if num_blocks <= 0:
-            raise ValueError("device must have at least one block")
+            raise ConfigError("device must have at least one block")
         self.num_blocks = num_blocks
         self.compressor = compressor
         self.stats = DeviceStats()
@@ -196,7 +201,7 @@ class BlockDevice(ABC):
     def read_blocks(self, lba: int, count: int) -> bytes:
         """Read ``count`` contiguous blocks as one request (one ``read_ios``)."""
         if count <= 0:
-            raise ValueError("read count must be positive")
+            raise ConfigError("read count must be positive")
         self._check_range(lba, count)
         self.stats.read_ios += 1
         self.stats.blocks_read += count
@@ -210,7 +215,7 @@ class BlockDevice(ABC):
     def trim(self, lba: int, count: int = 1) -> None:
         """Deallocate ``count`` blocks; they read back as zeros afterwards."""
         if count <= 0:
-            raise ValueError("trim count must be positive")
+            raise ConfigError("trim count must be positive")
         self._check_range(lba, count)
         self.stats.trim_ios += 1
         self.stats.bytes_trimmed += count * BLOCK_SIZE

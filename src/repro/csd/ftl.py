@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.csd.stats import DeviceStats
-from repro.errors import CapacityError
+from repro.errors import CapacityError, ConfigError
 
 #: Per-LBA mapping metadata the FTL persists alongside each compressed extent.
 MAPPING_ENTRY_COST = 8
@@ -45,9 +45,9 @@ class FlashTranslationLayer:
         mapping_cost: int = MAPPING_ENTRY_COST,
     ) -> None:
         if physical_capacity <= 0:
-            raise ValueError("physical capacity must be positive")
+            raise ConfigError("physical capacity must be positive")
         if mapping_cost < 0:
-            raise ValueError("mapping cost must be non-negative")
+            raise ConfigError("mapping cost must be non-negative")
         self.physical_capacity = physical_capacity
         self.stats = stats
         self.gc_model = gc_model
@@ -72,7 +72,7 @@ class FlashTranslationLayer:
         mapping metadata + modelled GC traffic).
         """
         if compressed_size < 0:
-            raise ValueError("compressed size must be non-negative")
+            raise ConfigError("compressed size must be non-negative")
         previous = self._extent_size.get(lba, 0)
         new_live = self._live_bytes - previous + compressed_size
         if new_live > self.physical_capacity:
@@ -114,7 +114,7 @@ class FlashTranslationLayer:
         try:
             for offset, size in enumerate(sizes):
                 if size < 0:
-                    raise ValueError("compressed size must be non-negative")
+                    raise ConfigError("compressed size must be non-negative")
                 key = lba + offset
                 live = live - extents.get(key, 0) + size
                 if live > capacity:

@@ -109,8 +109,14 @@ class CompactionError(LsmError):
     """A compaction produced an inconsistent level layout."""
 
 
-class ConfigError(ReproError):
-    """An engine or experiment was configured with invalid parameters."""
+class ConfigError(ReproError, ValueError):
+    """An engine, component, or experiment received invalid parameters.
+
+    Also a :class:`ValueError`: parameter validation is what ``ValueError``
+    means in Python, and the dual inheritance lets the public API keep the
+    everything-is-a-``ReproError`` contract (the ERR010 lint rule) without
+    breaking callers that idiomatically catch ``ValueError``.
+    """
 
 
 class ShardError(ReproError):

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import math
 
+from repro.errors import ConfigError
+
 
 def _fnv1a_64(data: bytes) -> int:
     h = 0xCBF29CE484222325
@@ -24,9 +26,9 @@ class BloomFilter:
 
     def __init__(self, expected_keys: int, bits_per_key: float = 10.0) -> None:
         if expected_keys < 0:
-            raise ValueError("expected_keys must be non-negative")
+            raise ConfigError("expected_keys must be non-negative")
         if bits_per_key <= 0:
-            raise ValueError("bits_per_key must be positive")
+            raise ConfigError("bits_per_key must be positive")
         self.bits_per_key = bits_per_key
         self.num_bits = max(64, int(expected_keys * bits_per_key))
         # Optimal probe count k = ln(2) * bits/key, clamped like RocksDB.

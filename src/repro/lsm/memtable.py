@@ -11,6 +11,8 @@ from __future__ import annotations
 import random
 from typing import Iterator, Optional
 
+from repro.errors import ConfigError
+
 #: Sentinel stored as a value to mark a deletion.
 TOMBSTONE = None
 
@@ -47,7 +49,7 @@ class MemTable:
     def put(self, key: bytes, value: Optional[bytes]) -> None:
         """Insert/update ``key``; ``value=None`` records a tombstone."""
         if not key:
-            raise ValueError("empty keys are not supported")
+            raise ConfigError("empty keys are not supported")
         update = self._find_update(key)
         node = update[0].next[0]
         if node is not None and node.key == key:

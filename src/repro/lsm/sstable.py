@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.csd.device import BLOCK_SIZE, BlockDevice
-from repro.errors import LsmError
+from repro.errors import ConfigError, LsmError
 from repro.lsm.bloom import BloomFilter
 
 _FOOTER_MAGIC = b"SST1"
@@ -40,14 +40,14 @@ class ExtentAllocator:
 
     def __init__(self, start_block: int, num_blocks: int) -> None:
         if num_blocks <= 0:
-            raise ValueError("extent pool must be non-empty")
+            raise ConfigError("extent pool must be non-empty")
         self.start_block = start_block
         self.num_blocks = num_blocks
         self._free: list[tuple[int, int]] = [(start_block, num_blocks)]
 
     def allocate(self, nblocks: int) -> int:
         if nblocks <= 0:
-            raise ValueError("allocation must be positive")
+            raise ConfigError("allocation must be positive")
         for i, (start, length) in enumerate(self._free):
             if length >= nblocks:
                 if length == nblocks:

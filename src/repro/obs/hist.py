@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, Iterable, List, Optional
 
+from repro.errors import ConfigError
+
 _DEFAULT_MIN_UNIT = 1e-9  # 1 ns resolution floor for latencies in seconds
 
 
@@ -32,9 +34,9 @@ class LatencyHistogram:
 
     def __init__(self, min_unit: float = _DEFAULT_MIN_UNIT, sub_bits: int = 7) -> None:
         if min_unit <= 0:
-            raise ValueError("min_unit must be positive")
+            raise ConfigError("min_unit must be positive")
         if not 1 <= sub_bits <= 20:
-            raise ValueError("sub_bits must be in [1, 20]")
+            raise ConfigError("sub_bits must be in [1, 20]")
         self.min_unit = min_unit
         self.sub_bits = sub_bits
         self.counts: Dict[int, int] = {}
@@ -48,9 +50,9 @@ class LatencyHistogram:
     def record(self, value: float, count: int = 1) -> None:
         """Add ``count`` observations of ``value`` (>= 0)."""
         if value < 0:
-            raise ValueError(f"cannot record negative value {value!r}")
+            raise ConfigError(f"cannot record negative value {value!r}")
         if count <= 0:
-            raise ValueError("count must be positive")
+            raise ConfigError("count must be positive")
         index = self._index(int(value / self.min_unit))
         self.counts[index] = self.counts.get(index, 0) + count
         self.n += count
@@ -98,7 +100,7 @@ class LatencyHistogram:
     def quantile(self, q: float) -> float:
         """Value at quantile ``q`` in [0, 1] (0.0 on an empty histogram)."""
         if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
+            raise ConfigError("quantile must be in [0, 1]")
         if self.n == 0:
             return 0.0
         rank = min(self.n, max(1, math.ceil(q * self.n)))
@@ -117,7 +119,7 @@ class LatencyHistogram:
     def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
         """Fold ``other`` into this histogram in place (same parameters)."""
         if (self.min_unit, self.sub_bits) != (other.min_unit, other.sub_bits):
-            raise ValueError(
+            raise ConfigError(
                 "cannot merge histograms with different bucket parameters"
             )
         for index, count in other.counts.items():
@@ -199,7 +201,7 @@ class WindowedSeries:
         on_window: Optional[Callable[[dict], None]] = None,
     ) -> None:
         if window_seconds <= 0:
-            raise ValueError("window width must be positive")
+            raise ConfigError("window width must be positive")
         self.window = window_seconds
         self.on_window = on_window
         self.windows: List[dict] = []
@@ -211,7 +213,7 @@ class WindowedSeries:
     def sample(self, t: float, values: Dict[str, float]) -> None:
         """Record cumulative counter ``values`` observed at simulated ``t``."""
         if self._finished:
-            raise ValueError("series already finished")
+            raise ConfigError("series already finished")
         if self._prev is None:
             self._prev = dict(values)
             self._start = t

@@ -49,6 +49,8 @@ from collections import deque
 from contextlib import contextmanager, nullcontext
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.errors import ConfigError
+
 #: Default ring-buffer capacity (events); older events are dropped first.
 DEFAULT_CAPACITY = 65536
 
@@ -113,7 +115,7 @@ class Tracer:
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY, clock=None) -> None:
         if capacity <= 0:
-            raise ValueError("tracer ring capacity must be positive")
+            raise ConfigError("tracer ring capacity must be positive")
         self.capacity = capacity
         self.events: deque = deque(maxlen=capacity)
         self.dropped = 0
@@ -269,7 +271,7 @@ def configure_from_env() -> Optional[Tracer]:
     try:
         capacity = int(raw, 0)
     except ValueError:
-        raise ValueError(
+        raise ConfigError(
             f"REPRO_TRACE={raw!r}: expected 0/1/on/off or a ring capacity"
         ) from None
     return install_tracer(capacity=capacity)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
+from repro.errors import ConfigError
 from repro.sim.rng import DeterministicRng
 from repro.workloads.generator import Op, mixed_ops
 from repro.workloads.records import KeySpace
@@ -50,7 +51,7 @@ class ClientSession:
         first_arrival: float = 0.0,
     ) -> None:
         if n_ops < 0 or arrival_interval <= 0:
-            raise ValueError("n_ops must be >= 0 and arrival_interval > 0")
+            raise ConfigError("n_ops must be >= 0 and arrival_interval > 0")
         self.session_id = session_id
         self._ops = ops
         self.remaining = n_ops
@@ -69,7 +70,7 @@ class ClientSession:
     def take_op(self) -> Op:
         """Consume the next op and advance the arrival schedule."""
         if self.remaining <= 0:
-            raise ValueError(f"session {self.session_id} has no ops left")
+            raise ConfigError(f"session {self.session_id} has no ops left")
         op = next(self._ops)
         self.remaining -= 1
         self.next_arrival += self.arrival_interval
@@ -96,7 +97,7 @@ def make_sessions(
     offered load exactly ``n_sessions / arrival_interval`` ops/s).
     """
     if n_sessions < 1:
-        raise ValueError("need at least one session")
+        raise ConfigError("need at least one session")
     if stagger is None:
         stagger = arrival_interval / n_sessions
     return [

@@ -295,7 +295,11 @@ class ShardRouter:
             config, table, stacks, device_map, meta_device, manifest,
             epoch=0, stacks_created=config.n_shards, device_factory=factory,
         )
-        manifest.append(router._record(STATE_ACTIVE))
+        # RoutingManifest.append() write+flushes the record itself (a
+        # durable primitive), and this is bootstrap: the ACTIVE record is
+        # the first bytes on a fresh meta device, with no earlier state to
+        # order against.
+        manifest.append(router._record(STATE_ACTIVE))  # repro: noqa[CRS008] append() is itself durable; bootstrap has no prior state
         return router
 
     @classmethod

@@ -8,6 +8,8 @@ datasets stand in for the paper's 150-500GB runs (see DESIGN.md §3).
 
 from __future__ import annotations
 
+from repro.errors import ConfigError
+
 
 class SimClock:
     """Monotonically advancing simulated time, in seconds.
@@ -20,7 +22,7 @@ class SimClock:
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
-            raise ValueError("clock cannot start before t=0")
+            raise ConfigError("clock cannot start before t=0")
         self._now = float(start)
         self._alarms: dict[str, float] = {}
 
@@ -43,7 +45,7 @@ class SimClock:
     def advance(self, seconds: float) -> float:
         """Advance the clock by ``seconds`` and return the new time."""
         if seconds < 0:
-            raise ValueError(f"cannot advance clock by {seconds!r} seconds")
+            raise ConfigError(f"cannot advance clock by {seconds!r} seconds")
         self._now += seconds
         return self._now
 
@@ -56,7 +58,7 @@ class SimClock:
     def set_alarm(self, name: str, interval: float) -> None:
         """Arm a named periodic alarm that fires ``interval`` seconds from now."""
         if interval <= 0:
-            raise ValueError("alarm interval must be positive")
+            raise ConfigError("alarm interval must be positive")
         self._alarms[name] = self._now + interval
 
     def alarm_due(self, name: str) -> bool:

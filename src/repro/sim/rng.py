@@ -12,6 +12,8 @@ from __future__ import annotations
 import hashlib
 import random
 
+from repro.errors import ConfigError
+
 
 def derive_seed(root_seed: int, *labels: object) -> int:
     """Derive a 64-bit seed from a root seed and a label path.
@@ -44,5 +46,5 @@ class DeterministicRng(random.Random):
     def random_bytes(self, n: int) -> bytes:
         """Return ``n`` pseudo-random bytes from this stream."""
         if n < 0:
-            raise ValueError("byte count must be non-negative")
+            raise ConfigError("byte count must be non-negative")
         return self.getrandbits(8 * n).to_bytes(n, "little") if n else b""

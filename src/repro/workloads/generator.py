@@ -12,6 +12,7 @@ import enum
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from repro.errors import ConfigError
 from repro.sim.rng import DeterministicRng
 from repro.workloads.records import KeySpace, record_value
 
@@ -50,7 +51,7 @@ def range_scan_ops(
 ) -> Iterator[Op]:
     """Random range scans of ``scan_length`` consecutive records (Fig. 16)."""
     if scan_length <= 0:
-        raise ValueError("scan length must be positive")
+        raise ConfigError("scan length must be positive")
     while True:
         start = rng.randrange(max(1, keyspace.n_records - scan_length))
         yield Op(OpKind.SCAN, keyspace.key(start), scan_length=scan_length)
@@ -66,9 +67,9 @@ def mixed_ops(
     """A read/write/scan mix (not used by the paper's figures, but handy for
     the examples and ablations)."""
     if not 0.0 <= write_fraction <= 1.0 or not 0.0 <= scan_fraction <= 1.0:
-        raise ValueError("fractions must lie in [0, 1]")
+        raise ConfigError("fractions must lie in [0, 1]")
     if write_fraction + scan_fraction > 1.0:
-        raise ValueError("write and scan fractions exceed 1")
+        raise ConfigError("write and scan fractions exceed 1")
     writes = random_write_ops(keyspace, rng.split("w"))
     reads = point_read_ops(keyspace, rng.split("r"))
     scans = range_scan_ops(keyspace, rng.split("s"), scan_length)

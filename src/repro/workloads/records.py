@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
 from repro.sim.rng import DeterministicRng
 
 KEY_SIZE = 8
@@ -29,7 +30,7 @@ def decode_key(key: bytes) -> int:
 def record_value(rng: DeterministicRng, record_size: int) -> bytes:
     """A value of ``record_size - KEY_SIZE`` bytes: half random, half zeros."""
     if record_size <= KEY_SIZE:
-        raise ValueError(f"record size must exceed the {KEY_SIZE}-byte key")
+        raise ConfigError(f"record size must exceed the {KEY_SIZE}-byte key")
     value_size = record_size - KEY_SIZE
     random_half = value_size // 2
     return rng.random_bytes(random_half) + bytes(value_size - random_half)
@@ -49,9 +50,9 @@ class KeySpace:
 
     def __post_init__(self) -> None:
         if self.n_records <= 0:
-            raise ValueError("key space must contain at least one record")
+            raise ConfigError("key space must contain at least one record")
         if self.record_size <= KEY_SIZE:
-            raise ValueError("record size must exceed the key size")
+            raise ConfigError("record size must exceed the key size")
 
     @property
     def dataset_bytes(self) -> int:

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.csd.device import BlockDevice
+from repro.errors import ConfigError
 from repro.csd.stats import DeviceStats
 from repro.metrics.counters import TrafficSnapshot, WaReport, compute_wa
 from repro.sim.clock import SimClock
@@ -89,9 +90,9 @@ class WorkloadRunner:
         batch is charged an even share of the batch's device busy time — and
         sample the WA window series once per round, same as per-op runs."""
         if n_threads < 1:
-            raise ValueError("need at least one client thread")
+            raise ConfigError("need at least one client thread")
         if batch_size < 1:
-            raise ValueError("batch size must be at least 1")
+            raise ConfigError("batch size must be at least 1")
         self.engine = engine
         self.device = device
         self.clock = clock

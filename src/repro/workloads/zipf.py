@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.errors import ConfigError
 from repro.sim.rng import DeterministicRng
 from repro.workloads.generator import Op, OpKind
 from repro.workloads.records import KeySpace, record_value
@@ -29,9 +30,9 @@ class ZipfGenerator:
 
     def __init__(self, n: int, theta: float = 0.99) -> None:
         if n <= 0:
-            raise ValueError("key space must be positive")
+            raise ConfigError("key space must be positive")
         if not 0.0 <= theta < 1.0:
-            raise ValueError("theta must lie in [0, 1)")
+            raise ConfigError("theta must lie in [0, 1)")
         self.n = n
         self.theta = theta
         self._alpha = 1.0 / (1.0 - theta)

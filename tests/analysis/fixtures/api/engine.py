@@ -1,0 +1,54 @@
+"""ERR010 fixture: a public engine facade leaking non-ReproError classes.
+
+The basename ``engine.py`` puts this file on the API surface.  Public
+methods may raise only ``ReproError`` subclasses; helpers that let a bare
+``ValueError``/``KeyError`` escape break the taxonomy, and converting at
+the boundary (``except ValueError: raise EngineError``) restores it.
+"""
+
+
+class EngineError(ReproError):
+    """Fixture stand-in for the repo's error taxonomy root."""
+
+
+class PublicEngine:
+    def __init__(self, device, slab_size: int):
+        self.device = device
+        self.arena = _make_arena(slab_size)  # ERR010: ValueError escapes
+
+    def put(self, key: bytes, value: bytes) -> None:
+        _validate_key(key)  # ERR010: interprocedural ValueError leak
+        self.device.write_block(0, value)
+
+    def get(self, key: bytes) -> bytes:
+        return self._index[key]  # raise statements only; subscripts ignored
+
+    def lookup(self, key: bytes) -> bytes:
+        if key not in self._index:
+            raise KeyError(key)  # ERR010: direct leak in a public method
+        return self._index[key]
+
+    def put_checked(self, key: bytes, value: bytes) -> None:
+        try:
+            _validate_key(key)
+        except ValueError as exc:  # ok: converted at the boundary
+            raise EngineError(str(exc)) from exc
+        self.device.write_block(0, value)
+
+    def close(self) -> None:
+        if self.device is None:
+            raise EngineError("already closed")  # ok: taxonomy error
+
+    def _internal_probe(self, key: bytes) -> None:
+        _validate_key(key)  # ok: private method, not on the API surface
+
+
+def _make_arena(slab_size: int):
+    if slab_size <= 0:
+        raise ValueError("slab size must be positive")
+    return bytearray(slab_size)
+
+
+def _validate_key(key: bytes) -> None:
+    if not key:
+        raise ValueError("empty keys are not supported")

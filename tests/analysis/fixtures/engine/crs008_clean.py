@@ -1,0 +1,51 @@
+"""CRS008 clean counterparts: the same protocols with the barrier present.
+
+Byte-for-byte the protocols of ``crs008_bad.py`` plus the device flush
+each commit point needs — the whole file must report nothing, proving the
+rule keys on the ordering, not on the protocol shapes themselves.
+"""
+
+
+class MarkerEngineClean:
+    def __init__(self, device, wal):
+        self.device = device
+        self.wal = wal
+
+    def commit(self, lsn: int, txid: int) -> None:
+        self.device.flush()  # data records durable before the marker
+        self.wal.append(LogRecord(lsn, txid, LogOp.COMMIT, b"", b""))
+
+    def commit_deep(self, lsn: int, txid: int) -> None:
+        self.device.flush()  # barrier dominates the callee's commit point
+        self._seal(lsn, txid)
+
+    def _seal(self, lsn: int, txid: int) -> None:
+        self.wal.append(LogRecord(lsn, txid, LogOp.COMMIT, b"", b""))
+
+    def commit_via_helper(self, lsn: int, txid: int) -> None:
+        self._flush_log()  # interprocedural barrier: helper must-flushes
+        self.wal.append(LogRecord(lsn, txid, LogOp.COMMIT, b"", b""))
+
+    def _flush_log(self) -> None:
+        self.device.flush()
+
+
+class MetaEngineClean:
+    META_BLOCK = 0
+
+    def __init__(self, device):
+        self.device = device
+
+    def persist_root(self, image: bytes) -> None:
+        self.device.flush()  # tree pages durable before the root flips
+        write_block_retrying(self.device, self.META_BLOCK, image)
+
+
+class ShadowPagerClean:
+    def __init__(self, device):
+        self.device = device
+
+    def flip(self, old_lba: int, new_lba: int, image: bytes) -> None:
+        self.device.write_block(new_lba, image)
+        self.device.flush()  # new image durable before the old one goes
+        self.device.trim(old_lba)

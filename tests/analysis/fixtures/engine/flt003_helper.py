@@ -1,0 +1,44 @@
+"""FLT003 fixture: accounting delegated to a *called* helper.
+
+The interprocedural extension: a handler that calls a helper whose
+transitive summary bumps a FaultStats/ServiceStats counter accounts —
+no inline increment, no stats argument, no noqa.  A helper that merely
+logs does not.
+"""
+
+
+class HealingStore:
+    def __init__(self, device, fault_stats):
+        self.device = device
+        self.fault_stats = fault_stats
+        self.last_error = None
+
+    def read_healed(self, lba: int):
+        try:
+            return self.device.read_block(lba)
+        except TransientIOError:  # ok: the helper's summary accounts
+            self._account_transient()
+            return None
+
+    def read_deep(self, lba: int):
+        try:
+            return self.device.read_block(lba)
+        except TransientIOError:  # ok: accounting two calls down
+            self._note_fault()
+            return None
+
+    def read_logged(self, lba: int):
+        try:
+            return self.device.read_block(lba)
+        except TransientIOError:  # FLT003: helper only logs, no counter
+            self._log_only()
+            return None
+
+    def _account_transient(self) -> None:
+        self.fault_stats.transient_read_retries += 1
+
+    def _note_fault(self) -> None:
+        self._account_transient()
+
+    def _log_only(self) -> None:
+        self.last_error = "transient"

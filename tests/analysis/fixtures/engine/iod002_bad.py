@@ -15,6 +15,6 @@ def sneak(device) -> bytes:
 
 def sanctioned(device, lba: int, data: bytes) -> bytes:
     device.write_block(lba, data)
+    device.flush()  # also keeps the trim flush-dominated (CRS008 scope)
     device.trim(lba + 1)
-    device.flush()
     return device.read_block(lba)

@@ -1,0 +1,51 @@
+"""PUR009 fixture: pool workers whose *helpers* mutate module state.
+
+Every worker body here is textually pure — PAR005 must stay silent (the
+two rules partition the property) — but the helpers they call bump
+module-level caches, which diverges forked runs from serial ones just the
+same.  ``clean_worker`` exercises the sanctioned shape: a pure helper.
+"""
+
+from functools import partial
+
+_SHAPE_CACHE = {}
+_SEEN = []
+_TOTAL = 0
+
+
+def work(point: int) -> int:
+    # Direct body is pure; the helper is not (PUR009, not PAR005).
+    return _cached_shape(point)
+
+
+def work_partial(scale: int, point: int) -> int:
+    # Submitted via functools.partial(work_partial, 2) below.
+    return _tally(point * scale)
+
+
+def clean_worker(point: int) -> int:
+    return _pure_shape(point)
+
+
+def _cached_shape(point: int) -> int:
+    _SHAPE_CACHE[point] = point * 2  # PUR009: reached from worker `work`
+    _SEEN.append(point)  # PUR009: module-level mutator call
+    return _SHAPE_CACHE[point]
+
+
+def _tally(value: int) -> int:
+    global _TOTAL
+    _TOTAL += value  # PUR009: reached via the partial-wrapped worker
+    return _TOTAL
+
+
+def _pure_shape(point: int) -> int:
+    local = {point: point * 2}
+    return local[point]
+
+
+def fan_out(points):
+    mapped = run_tasks(points, work)
+    scaled = run_tasks(points, worker=partial(work_partial, 2))
+    clean = run_tasks(points, clean_worker)
+    return mapped, scaled, clean

@@ -1,0 +1,27 @@
+"""CRS008 fixture: routing-manifest ACTIVE record published over volatile data.
+
+A stripped copy of the shard router's split protocol: phase 3 appends the
+``STATE_ACTIVE`` record that flips routing to the new shard — publishing it
+before the migrated blocks are flushed is the split-brain crash window.
+"""
+
+STATE_ACTIVE = 2
+
+
+class SplitRouter:
+    def __init__(self, manifest, dst_device):
+        self.manifest = manifest
+        self.dst_device = dst_device
+
+    def activate_bad(self, record: bytes) -> None:
+        self.dst_device.write_block(0, record)
+        # CRS008: migrated blocks may still be volatile on dst_device.
+        self.manifest.append(self._record(STATE_ACTIVE))
+
+    def activate_clean(self, record: bytes) -> None:
+        self.dst_device.write_block(0, record)
+        self.dst_device.flush()  # migration durable before routing flips
+        self.manifest.append(self._record(STATE_ACTIVE))
+
+    def _record(self, state: int) -> bytes:
+        return bytes([state])

@@ -21,8 +21,8 @@ from repro.analysis.framework import (
 )
 from repro.errors import ConfigError
 
-EXPECTED_RULE_IDS = ["BUF007", "DET001", "EXC004", "FLT003", "IOD002", "PAR005",
-                     "TRC006"]
+EXPECTED_RULE_IDS = ["BUF007", "CRS008", "DET001", "ERR010", "EXC004", "FLT003",
+                     "IOD002", "PAR005", "PUR009", "TRC006"]
 
 
 def test_registry_has_all_expected_rules():
@@ -150,3 +150,123 @@ def test_findings_sorted_deterministically():
     findings = analyze_source(source, "src/repro/core/x.py")
     assert [f.line for f in findings] == sorted(f.line for f in findings)
     assert all(isinstance(f, Finding) for f in findings)
+
+
+# ----------------------------------------------------- call-graph corner cases
+#
+# The project index + summary fixpoint underpin four rules; these pin the
+# resolution corner cases directly (decorators, functools.partial workers,
+# subclass self-dispatch, mutual-recursion SCCs, unknown-callee polarity).
+
+
+def _project_for(source, path="src/repro/core/x.py"):
+    from repro.analysis.project import build_project
+    from repro.analysis.summaries import compute_summaries
+
+    ctx = FileContext(path, source, ast.parse(source))
+    project = build_project([ctx])
+    summaries = compute_summaries(project, {ctx.path: ctx.tree})
+    return project, summaries
+
+
+def _fid(project, qualname):
+    (fid,) = [f for f, i in project.functions.items() if i.qualname == qualname]
+    return fid
+
+
+def test_decorated_functions_are_indexed_and_resolved():
+    source = (
+        "def timed(fn):\n"
+        "    return fn\n"
+        "@timed\n"
+        "def helper(device):\n"
+        "    device.flush()\n"
+        "def caller(device):\n"
+        "    helper(device)\n"
+    )
+    project, summaries = _project_for(source)
+    caller = _fid(project, "caller")
+    helper = _fid(project, "helper")
+    assert helper in project.edges[caller]
+    assert summaries[caller].may_flush  # effect propagates through the edge
+
+
+def test_partial_wrapped_worker_is_found():
+    source = (
+        "from functools import partial\n"
+        "CACHE = {}\n"
+        "def work(scale, point):\n"
+        "    return _bump(point * scale)\n"
+        "def _bump(value):\n"
+        "    CACHE[value] = value\n"
+        "    return value\n"
+        "def fan_out(points):\n"
+        "    return run_tasks(points, worker=partial(work, 2))\n"
+    )
+    findings = analyze_source(source, "src/repro/core/x.py",
+                              rules=select_rules("PUR009"))
+    assert len(findings) == 1
+    assert "worker `work`" in findings[0].message
+
+
+def test_self_dispatch_covers_subclass_overrides():
+    # Base.run's self._step() must resolve to BOTH implementations: the
+    # receiver could be either class, so their effects union.
+    source = (
+        "class Base:\n"
+        "    def run(self):\n"
+        "        self._step()\n"
+        "    def _step(self):\n"
+        "        pass\n"
+        "class Sub(Base):\n"
+        "    def _step(self):\n"
+        "        raise ValueError('boom')\n"
+    )
+    project, summaries = _project_for(source)
+    run = _fid(project, "Base.run")
+    targets = {project.functions[c].qualname for c in project.edges[run]}
+    assert targets == {"Base._step", "Sub._step"}
+    assert "ValueError" in summaries[run].raises
+
+
+def test_mutual_recursion_scc_reaches_fixpoint():
+    source = (
+        "def even(n, device):\n"
+        "    if n == 0:\n"
+        "        device.flush()\n"
+        "        return True\n"
+        "    return odd(n - 1, device)\n"
+        "def odd(n, device):\n"
+        "    if n == 0:\n"
+        "        raise ValueError('odd')\n"
+        "    return even(n - 1, device)\n"
+    )
+    project, summaries = _project_for(source)
+    # Effects circulate around the cycle: each member sees the other's.
+    for qual in ("even", "odd"):
+        summary = summaries[_fid(project, qual)]
+        assert summary.may_flush
+        assert "ValueError" in summary.raises
+
+
+def test_unknown_callee_polarity_is_pinned():
+    # CRS008 treats unknown callees as NO barrier (conservative): the
+    # marker after an unresolvable call is still undominated...
+    source = (
+        "def commit(wal):\n"
+        "    mystery_helper()\n"
+        "    wal.append(LogRecord(0, 0, LogOp.COMMIT, b'', b''))\n"
+    )
+    findings = analyze_source(source, "src/repro/lsm/x.py",
+                              rules=select_rules("CRS008"))
+    assert len(findings) == 1
+    # ...while ERR010 treats them as raising NOTHING (optimistic): the
+    # rule bounds what resolvable project code throws.
+    source = (
+        "class Engine:\n"
+        "    def put(self, key):\n"
+        "        mystery_helper(key)\n"
+    )
+    findings = analyze_source(source, "src/repro/lsm/engine.py",
+                              rules=select_rules("ERR010"))
+    assert findings == []

@@ -62,3 +62,69 @@ def test_lint_default_target_is_src_repro(capsys, monkeypatch):
     assert rc == 0
     assert payload["finding_count"] == 0
     assert payload["files_scanned"] > 50
+
+
+def test_lint_jobs_output_identical_to_serial(capsys):
+    rc_serial = main(["lint", "--json", str(FIXTURES)])
+    serial = json.loads(capsys.readouterr().out)
+    rc_parallel = main(["lint", "--json", "--jobs", "2", str(FIXTURES)])
+    parallel = json.loads(capsys.readouterr().out)
+    assert rc_serial == rc_parallel == 1
+    assert serial == parallel  # merged+sorted report at any job count
+
+
+def test_lint_changed_narrows_the_report(capsys, monkeypatch, tmp_path):
+    import subprocess
+
+    def git(*argv):
+        subprocess.run(
+            ["git", *argv], cwd=tmp_path, check=True, capture_output=True)
+
+    git("init", "-q")
+    git("config", "user.email", "t@example.com")
+    git("config", "user.name", "t")
+    bad = "def f(op):\n    try:\n        return op()\n    except Exception:\n        pass\n"
+    (tmp_path / "committed_bad.py").write_text(bad)
+    git("add", "committed_bad.py")
+    git("commit", "-q", "-m", "seed")
+    (tmp_path / "new_bad.py").write_text(bad)  # untracked
+    monkeypatch.chdir(tmp_path)
+
+    rc = main(["lint", str(tmp_path)])
+    full = capsys.readouterr().out
+    assert rc == 1 and "committed_bad.py" in full and "new_bad.py" in full
+
+    rc = main(["lint", "--changed", str(tmp_path)])
+    narrowed = capsys.readouterr().out
+    assert rc == 1
+    assert "new_bad.py" in narrowed  # the file being committed
+    assert "committed_bad.py" not in narrowed  # pre-existing debt elsewhere
+
+
+def test_lint_changed_clean_when_nothing_changed(capsys, monkeypatch, tmp_path):
+    import subprocess
+
+    def git(*argv):
+        subprocess.run(
+            ["git", *argv], cwd=tmp_path, check=True, capture_output=True)
+
+    git("init", "-q")
+    git("config", "user.email", "t@example.com")
+    git("config", "user.name", "t")
+    (tmp_path / "mod.py").write_text("x = 1\n")
+    git("add", "mod.py")
+    git("commit", "-q", "-m", "seed")
+    monkeypatch.chdir(tmp_path)
+    rc = main(["lint", "--changed", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "no changed Python files" in out
+
+
+def test_lint_callgraph_dump(capsys):
+    rc = main(["lint", "--callgraph",
+               str(FIXTURES / "engine" / "pur009_bad.py")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "-> _cached_shape" in out  # resolved edge
+    assert "[entry" in out  # entry flag on uncalled functions

@@ -1,6 +1,6 @@
 """Per-rule behaviour over the fixture files + the golden findings report.
 
-Each of the seven rule ids must produce at least one fixture-triggered
+Each of the ten rule ids must produce at least one fixture-triggered
 finding (an acceptance criterion of the analysis subsystem), and the full
 fixture report is pinned as golden JSON.  Regenerate after intentional rule
 changes with::
@@ -161,6 +161,116 @@ def test_buf007_allows_downward_flow_and_copies():
     assert analyze_source(source, "src/repro/core/x.py", rules_only("BUF007")) == []
 
 
+# ------------------------------------------------------------------ CRS008
+
+
+def test_crs008_flags_every_flushless_commit_point():
+    """The acceptance fixture: each protocol copy with the flush deleted."""
+    findings = fixture_findings("engine/crs008_bad.py", rules_only("CRS008"))
+    assert [f.line for f in findings] == [20, 27, 40, 52, 59]
+    kinds = [f.message.split("(")[1].split(")")[0] for f in findings]
+    assert kinds == [
+        "wal-commit-marker", "wal-commit-marker", "meta-page-write",
+        "shadow-flip-trim", "wal-commit-marker",
+    ]
+    # The interprocedural case carries the call chain as a witness.
+    assert "commit_deep -> MarkerEngine._seal" in findings[1].message
+    # The one-branch case: dominated on the durable branch only.
+    assert "flush_on_one_branch" in findings[4].message
+
+
+def test_crs008_clean_counterparts_pass():
+    """Same protocols, flush present — in-function, pre-call, and via a
+    must-flush helper; the rule keys on ordering, not shape."""
+    assert fixture_findings("engine/crs008_clean.py", rules_only("CRS008")) == []
+
+
+def test_crs008_covers_the_shard_activation_protocol():
+    findings = fixture_findings(
+        "shard/crs008_shard_bad.py", rules_only("CRS008"))
+    assert [f.line for f in findings] == [19]
+    assert "manifest-active-record" in findings[0].message
+    assert "activate_bad" in findings[0].message  # activate_clean stays clean
+
+
+def test_crs008_out_of_scope_segments_are_skipped():
+    from repro.analysis import analyze_source
+
+    source = (
+        "def probe(device, wal):\n"
+        "    wal.append(LogRecord(0, 0, LogOp.COMMIT, b'', b''))\n"
+    )
+    # faultcheck-style probes under bench/ and device internals under csd/
+    # write commit-point look-alikes freely.
+    assert analyze_source(source, "src/repro/bench/x.py", rules_only("CRS008")) == []
+    assert analyze_source(source, "src/repro/csd/x.py", rules_only("CRS008")) == []
+    assert analyze_source(source, "src/repro/lsm/x.py", rules_only("CRS008")) != []
+
+
+# ------------------------------------------------------------------ ERR010
+
+
+def test_err010_flags_public_leaks_only():
+    findings = fixture_findings("api/engine.py", rules_only("ERR010"))
+    leaks = [(f.line, f.message.split("`")[3]) for f in findings]
+    assert leaks == [(15, "ValueError"), (19, "ValueError"), (26, "KeyError")]
+    messages = " | ".join(f.message for f in findings)
+    # Boundary conversion, taxonomy errors, and private methods stay clean.
+    assert "put_checked" not in messages
+    assert "close" not in messages
+    assert "_internal_probe" not in messages
+
+
+def test_err010_origin_site_is_the_witness():
+    findings = fixture_findings("api/engine.py", rules_only("ERR010"))
+    assert "engine.py:48" in findings[0].message  # _make_arena's raise
+    assert "engine.py:54" in findings[1].message  # _validate_key's raise
+
+
+def test_err010_scope_is_the_api_basenames():
+    from repro.analysis import analyze_source
+
+    source = (
+        "class Engine:\n"
+        "    def put(self, key):\n"
+        "        raise ValueError('bad key')\n"
+    )
+    assert analyze_source(source, "src/repro/lsm/engine.py", rules_only("ERR010")) != []
+    assert analyze_source(source, "src/repro/lsm/helpers.py", rules_only("ERR010")) == []
+    assert analyze_source(source, "src/repro/csd/engine.py", rules_only("ERR010")) == []
+
+
+# ------------------------------------------------------------------ PUR009
+
+
+def test_pur009_flags_helper_mutations_behind_pure_workers():
+    findings = fixture_findings("engine/pur009_bad.py", rules_only("PUR009"))
+    assert [f.line for f in findings] == [31, 32, 37, 38]
+    messages = " | ".join(f.message for f in findings)
+    assert "via work -> _cached_shape" in messages
+    assert "worker `work_partial`" in messages  # through functools.partial
+    assert "clean_worker" not in messages
+
+
+def test_pur009_and_par005_partition_the_property():
+    """A mutation in the worker's direct body is PAR005's; the same
+    mutation one call down is PUR009's — never both."""
+    findings = fixture_findings("engine/pur009_bad.py")
+    assert [f.rule for f in findings] == ["PUR009"] * 4
+    direct = fixture_findings("engine/par005_bad.py")
+    assert "PUR009" not in {f.rule for f in direct}
+
+
+# ------------------------------------------------- FLT003 helper delegation
+
+
+def test_flt003_credits_accounting_in_called_helpers():
+    findings = fixture_findings("engine/flt003_helper.py", rules_only("FLT003"))
+    # read_healed (one call down) and read_deep (two calls down) account;
+    # read_logged's helper never touches a counter.
+    assert [f.line for f in findings] == [33]
+
+
 # ------------------------------------------------------- suppression fixture
 
 
@@ -194,6 +304,6 @@ def test_every_rule_id_has_a_fixture_triggered_finding():
     payload = _relative_report()
     by_rule = payload["findings_by_rule"]
     for rule_id in ("DET001", "IOD002", "FLT003", "EXC004", "PAR005", "TRC006",
-                    "BUF007"):
+                    "BUF007", "CRS008", "ERR010", "PUR009"):
         assert by_rule.get(rule_id, 0) >= 1, f"no fixture finding for {rule_id}"
     assert by_rule.get(UNUSED_SUPPRESSION_ID, 0) >= 2
