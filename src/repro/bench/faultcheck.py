@@ -142,6 +142,24 @@ def _lsm_group_config() -> LSMConfig:
     )
 
 
+def _lsm_vlog_config() -> LSMConfig:
+    return LSMConfig(
+        memtable_bytes=8 * 1024,
+        log_blocks=_LOG_BLOCKS,
+        log_flush_policy="commit",
+        # Key-value separation with a deliberately tight value log: the
+        # campaign's 80-320B values mostly clear the threshold, the eight
+        # single-block segments fill within the workload, and the eager GC
+        # trigger (free <= 2) forces several full sweep -> rewrite ->
+        # manifest-commit -> TRIM passes while crash points fire, covering
+        # every write/TRIM/flush boundary of the GC protocol.
+        value_separation_threshold=128,
+        vlog_segment_blocks=1,
+        vlog_segments=8,
+        vlog_gc_free_segments=2,
+    )
+
+
 def _make_suts() -> dict[str, SystemUnderTest]:
     def btree(atomicity: str, repair_style: str) -> SystemUnderTest:
         return SystemUnderTest(
@@ -177,6 +195,13 @@ def _make_suts() -> dict[str, SystemUnderTest]:
             reopen=lambda dev: LSMEngine.open(dev, _lsm_group_config()),
             repair_style="none",
             group_size=_GROUP_SIZE,
+            fault_trials=False,
+        ),
+        "lsm-vlog": SystemUnderTest(
+            name="lsm-vlog",
+            create=lambda dev: LSMEngine(dev, _lsm_vlog_config()),
+            reopen=lambda dev: LSMEngine.open(dev, _lsm_vlog_config()),
+            repair_style="none",
             fault_trials=False,
         ),
     }

@@ -92,6 +92,11 @@ class ExperimentSpec:
     wal_enabled: bool = True  # Table 1 / Fig 13 runs disable the WAL (§2.3)
     device_kind: str = "csd"  # csd | plain (ablation: conventional SSD)
     steady_ops: Optional[int] = None  # default: one key-space turnover
+    #: LSM-only knobs (rocksdb system): compaction policy and WAL-time
+    #: key-value separation threshold (None = separation off).  The other
+    #: systems ignore them — they have no compaction to steer.
+    compaction_strategy: str = "leveled"
+    value_separation_threshold: Optional[int] = None
     seed: int = 2022
 
     def validate(self) -> None:
@@ -119,6 +124,11 @@ class ExperimentSpec:
         if self.system.startswith("bminus"):
             bits.append(f"T={self.threshold_t}")
             bits.append(f"Ds={self.segment_size}")
+        if self.system == "rocksdb":
+            if self.compaction_strategy != "leveled":
+                bits.append(self.compaction_strategy)
+            if self.value_separation_threshold is not None:
+                bits.append(f"vsep={self.value_separation_threshold}")
         bits.append(f"{self.n_threads}thr")
         return "/".join(bits)
 
@@ -190,6 +200,15 @@ def build_engine(spec: ExperimentSpec):
         # The 32KB floor keeps per-table metadata overhead realistic (<10%);
         # below it, footer blocks would masquerade as LSM space amplification.
         memtable = max(32 << 10, spec.dataset_bytes // 2400)
+        vlog_segments = 16
+        if spec.value_separation_threshold is not None:
+            # Size the value log to ~4x the dataset so GC pressure stays
+            # moderate at any scale (the live set always fits with headroom).
+            segment_blocks = max(
+                4, -(-4 * spec.dataset_bytes // (vlog_segments * BLOCK_SIZE))
+            )
+        else:
+            segment_blocks = 16  # LSMConfig default; unused (no vlog region)
         lsm_config = LSMConfig(
             memtable_bytes=memtable,
             level_base_bytes=4 * memtable,
@@ -198,8 +217,14 @@ def build_engine(spec: ExperimentSpec):
             wal_mode="packed" if spec.wal_enabled else "none",
             log_flush_policy=spec.log_flush_policy,
             log_flush_interval=spec.log_flush_interval,
+            compaction_strategy=spec.compaction_strategy,
+            value_separation_threshold=spec.value_separation_threshold,
+            vlog_segment_blocks=segment_blocks,
+            vlog_segments=vlog_segments,
         )
         data_blocks = int(spec.dataset_bytes * 14 / BLOCK_SIZE) + 4096
+        if spec.value_separation_threshold is not None:
+            data_blocks += segment_blocks * vlog_segments
         device = CompressedBlockDevice(
             num_blocks=lsm_config.manifest_blocks * 2 + lsm_config.log_blocks + data_blocks,
             compressor=_compressor(spec),

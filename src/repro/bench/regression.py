@@ -429,6 +429,110 @@ def bench_sharded(scale: float = 1.0, jobs: int = 4) -> Dict[str, object]:
     }
 
 
+def run_strategy_point(
+    strategy: str,
+    value_size: int,
+    threshold,
+    n_keys: int,
+    passes: int = 2,
+    seed: int = 2022,
+) -> Dict[str, object]:
+    """One compaction-strategy × value-size cell (shared with the CLI).
+
+    Populates ``n_keys`` records of ``value_size`` bytes and overwrites the
+    whole key space ``passes - 1`` more times through an LSM engine running
+    the named strategy, with WAL-time key-value separation at ``threshold``
+    (None = separation off).  Everything runs on the simulated clock with a
+    seeded value stream, so the WA figures are bit-reproducible across hosts
+    and ``--check`` gates them exactly; wall-clock seconds ride along as
+    trajectory.  Raises :class:`~repro.errors.ConfigError` for an unknown
+    strategy or a nonsensical threshold — ``repro compact-compare`` turns
+    that into a nonzero exit.
+    """
+    from repro.lsm.engine import LSMConfig, LSMEngine
+    from repro.metrics.counters import compute_wa
+    from repro.sim.clock import SimClock
+
+    config = LSMConfig(
+        memtable_bytes=8 * 1024,
+        log_flush_policy="commit",
+        compaction_strategy=strategy,
+        value_separation_threshold=threshold,
+        vlog_segment_blocks=64,
+        vlog_segments=16,
+    )
+    device = CompressedBlockDevice(num_blocks=1 << 15)
+    engine = LSMEngine(device, config, SimClock())
+    rng = DeterministicRng(seed)
+    ops = 0
+    start = time.perf_counter()
+    for _ in range(passes):
+        for i in range(n_keys):
+            body = rng.random_bytes(value_size // 2)
+            engine.put(b"key%08d" % i, body + bytes(value_size - len(body)))
+            ops += 1
+            if ops % 16 == 0:
+                engine.commit()
+        engine.commit()
+    seconds = time.perf_counter() - start
+    wa = compute_wa(engine.traffic_snapshot())
+    occupancy = engine.vlog_occupancy()
+    engine.close()
+    cell: Dict[str, object] = {
+        "wa_total": round(wa.wa_total, 6),
+        "wa_log": round(wa.wa_log, 6),
+        "wa_pg": round(wa.wa_pg, 6),
+        "seconds": round(seconds, 3),
+        "ops_per_s": round(ops / seconds, 1),
+    }
+    if occupancy is not None:
+        cell["vlog"] = occupancy
+    return cell
+
+
+def bench_compaction_strategies(scale: float = 1.0) -> Dict[str, object]:
+    """Compaction-strategy × value-size WA sweep (PR 10's tentpole figure).
+
+    Measures every pluggable strategy with WAL-time key-value separation on,
+    plus the leveled baseline with separation off, at a small and a large
+    value size (the 256B threshold splits them).  The WA figures are
+    deterministic on the simulated clock, so ``--check`` gates each cell
+    exactly; the headline invariant — separation must beat the baseline's WA
+    on the large-value workload, because large values stop riding every
+    compaction rewrite — is gated unconditionally.
+    """
+    from repro.lsm.strategy import STRATEGIES
+
+    n_keys = max(300, int(600 * scale))
+    threshold = 256
+    value_sizes = {"small": 64, "large": 1024}
+
+    baseline = {
+        size_name: run_strategy_point("leveled", size, None, n_keys)
+        for size_name, size in value_sizes.items()
+    }
+    strategies = {
+        strategy: {
+            size_name: run_strategy_point(strategy, size, threshold, n_keys)
+            for size_name, size in value_sizes.items()
+        }
+        for strategy in sorted(STRATEGIES)
+    }
+    baseline_wa = baseline["large"]["wa_total"]
+    separated_wa = strategies["leveled"]["large"]["wa_total"]
+    return {
+        "n_keys": n_keys,
+        "passes": 2,
+        "threshold": threshold,
+        "value_sizes": value_sizes,
+        "baseline": baseline,
+        "strategies": strategies,
+        "separation_wa_improvement_large": round(
+            baseline_wa / separated_wa, 3),
+        "separation_beats_baseline": separated_wa < baseline_wa,
+    }
+
+
 def bench_trace_overhead(scale: float = 1.0) -> Dict[str, object]:
     """Wall-clock cost of running with the event tracer + metrics hub on.
 
@@ -492,6 +596,7 @@ def measure(jobs: int = 4, scale: float = 1.0, writes: int = 6000) -> Dict:
         "batched_ops": bench_batched_ops(scale=scale),
         "serving": bench_serving(scale=scale),
         "sharded": bench_sharded(scale=scale, jobs=jobs),
+        "compaction_strategies": bench_compaction_strategies(scale=scale),
         "trace_overhead": bench_trace_overhead(scale=scale),
     }
     # The PR-6 acceptance figure: batched B⁻-tree puts vs the per-op
@@ -622,6 +727,42 @@ def check(report: Dict, baseline: Dict, tolerance: float = 0.2) -> list:
                         f"baseline {expected} (deterministic figure drifted)"
                     )
         # The shard speedup is core-bound trajectory data, never gated.
+    compaction = report.get("compaction_strategies")
+    if compaction is not None:
+        # The acceptance invariant is unconditional: key-value separation
+        # must beat the baseline WA on the large-value workload, whatever
+        # baseline is committed.
+        if not compaction["separation_beats_baseline"]:
+            failures.append(
+                "compaction_strategies: key-value separation did not beat "
+                "the leveled baseline WA on the large-value workload "
+                f"(improvement {compaction['separation_wa_improvement_large']}x)"
+            )
+        if "compaction_strategies" in baseline:
+            # Sim-clock figures: every strategy × value-size WA cell is
+            # bit-reproducible, so drift is a behaviour change.
+            expected_base = baseline["compaction_strategies"]["baseline"]
+            for size_name, cell in compaction["baseline"].items():
+                if cell["wa_total"] != expected_base[size_name]["wa_total"]:
+                    failures.append(
+                        f"compaction_strategies.baseline.{size_name}: WA "
+                        f"{cell['wa_total']} != baseline "
+                        f"{expected_base[size_name]['wa_total']} "
+                        f"(deterministic figure drifted)"
+                    )
+            expected_strats = baseline["compaction_strategies"]["strategies"]
+            for strategy, cells in compaction["strategies"].items():
+                for size_name, cell in cells.items():
+                    expected = expected_strats[strategy][size_name]["wa_total"]
+                    if cell["wa_total"] != expected:
+                        failures.append(
+                            f"compaction_strategies.{strategy}.{size_name}: "
+                            f"WA {cell['wa_total']} != baseline {expected} "
+                            f"(deterministic figure drifted)"
+                        )
+        else:
+            print("perf check: skipping 'compaction strategies' exact gate "
+                  "(baseline predates the compaction_strategies benchmark)")
     return failures
 
 

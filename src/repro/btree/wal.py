@@ -53,6 +53,9 @@ class LogOp(enum.IntEnum):
     DELETE = 2
     COMMIT = 3
     CHECKPOINT = 4
+    #: LSM key-value separation: the value field is a 16-byte pointer into
+    #: the value log, not the payload (the B-tree engines never emit this).
+    PUT_VPTR = 5
 
 
 @dataclass(frozen=True)

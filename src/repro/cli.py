@@ -268,7 +268,21 @@ def cmd_stats(args: argparse.Namespace) -> int:
     ))
 
     if args.json:
-        payload = _json.dumps(hub.to_dict(), indent=2, sort_keys=True)
+        export = hub.to_dict()
+        # Engine-shape diagnostics ride along when the engine exposes them
+        # (LSM only): bytes per level and the value-log occupancy sweep.
+        engine = result.engine
+        if hasattr(engine, "level_shape"):
+            shape = {"level_shape": engine.level_shape()}
+            occupancy = (engine.vlog_occupancy()
+                         if hasattr(engine, "vlog_occupancy") else None)
+            if occupancy is not None:
+                shape["vlog"] = occupancy
+                shape["vlog_live_ratio"] = round(
+                    occupancy["live_bytes"] / occupancy["data_bytes"], 6
+                ) if occupancy["data_bytes"] else 0.0
+            export["engine"] = shape
+        payload = _json.dumps(export, indent=2, sort_keys=True)
         if args.json == "-":
             print(payload)
         else:
@@ -298,6 +312,49 @@ def cmd_faultcheck(args: argparse.Namespace) -> int:
     )
     print(_json.dumps(report, indent=2) if args.json else format_report(report))
     return 0 if report["passed"] else 1
+
+
+def cmd_compact_compare(args: argparse.Namespace) -> int:
+    """``repro compact-compare``: WA per compaction strategy × value size.
+
+    Runs the deterministic strategy sweep from
+    :func:`repro.bench.regression.run_strategy_point` — each named strategy
+    at each value size, with WAL-time key-value separation off and on — and
+    prints the WA table plus the value-log live ratio.  An unknown strategy
+    name or a nonsensical threshold raises
+    :class:`~repro.errors.ConfigError`, which :func:`main` turns into exit
+    code 1.
+    """
+    from repro.bench.regression import run_strategy_point
+
+    strategies = [s.strip() for s in args.strategies.split(",") if s.strip()]
+    sizes = [int(s) for s in args.value_sizes.split(",") if s.strip()]
+    rows = []
+    for strategy in strategies:
+        for size in sizes:
+            print(f"running {strategy} @ {size}B ...", file=sys.stderr)
+            plain = run_strategy_point(strategy, size, None, args.keys,
+                                       seed=args.seed)
+            sep = run_strategy_point(strategy, size, args.threshold,
+                                     args.keys, seed=args.seed)
+            occ = sep.get("vlog")
+            live = (f"{occ['live_bytes'] / occ['data_bytes']:.2f}"
+                    if occ and occ["data_bytes"] else "-")
+            rows.append([
+                strategy, size,
+                f"{plain['wa_total']:.2f}", f"{sep['wa_total']:.2f}",
+                f"{plain['wa_total'] / sep['wa_total']:.2f}x",
+                live,
+            ])
+    print(format_table(
+        f"Compaction strategy WA sweep, {args.keys} keys x 2 passes, "
+        f"separation threshold {args.threshold}B",
+        ["strategy", "value B", "WA", "WA (KV-sep)", "gain", "vlog live"],
+        rows,
+        note="WA on the simulated stack; 'vlog live' is live/data bytes "
+             "in the value log after the run",
+    ))
+    return 0
 
 
 def cmd_shard_sim(args: argparse.Namespace) -> int:
@@ -640,7 +697,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="systematic crash-point and fault-injection campaign")
     flt_p.add_argument("--systems", default="bminus,btree-det-shadow,"
                        "btree-journal,btree-shadow-table,"
-                       "bminus-group,lsm-group,shard-split",
+                       "bminus-group,lsm-group,lsm-vlog,shard-split",
                        help="comma-separated system list (see "
                             "repro.bench.faultcheck.FAULTCHECK_SYSTEMS)")
     flt_p.add_argument("--ops", type=int, default=200,
@@ -653,6 +710,22 @@ def build_parser() -> argparse.ArgumentParser:
     flt_p.add_argument("--json", action="store_true",
                        help="emit the full JSON report instead of a summary")
     flt_p.set_defaults(func=cmd_faultcheck)
+
+    cc_p = sub.add_parser(
+        "compact-compare",
+        help="WA table per compaction strategy x value size (KV separation "
+             "off vs on)")
+    cc_p.add_argument("--strategies", default="leveled,tiered,lazy-leveled,partial",
+                      help="comma-separated strategy list (see "
+                           "repro.lsm.strategy.STRATEGIES)")
+    cc_p.add_argument("--value-sizes", default="64,1024",
+                      help="comma-separated value sizes in bytes")
+    cc_p.add_argument("--threshold", type=int, default=256,
+                      help="value-separation threshold for the KV-sep runs")
+    cc_p.add_argument("--keys", type=int, default=300,
+                      help="key-space size (each run overwrites it twice)")
+    cc_p.add_argument("--seed", type=int, default=2022)
+    cc_p.set_defaults(func=cmd_compact_compare)
 
     shd_p = sub.add_parser(
         "shard-sim",

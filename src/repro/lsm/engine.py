@@ -4,22 +4,30 @@ Device layout::
 
     block 0 ..                : manifest copies A and B
     next ..                   : WAL ring
+    next ..                   : value-log segments (only when key-value
+                                separation is enabled)
     rest                      : SSTable extent pool
 
-Writes go WAL -> memtable; a full memtable flushes to a level-0 table;
-leveled compaction keeps each level under its exponential size target.
-Reads consult the memtable, then level-0 tables newest-first, then one table
-per deeper level, with bloom filters suppressing pointless data-block reads —
-the same read path the paper credits for RocksDB's good point-read TPS.
+Writes go WAL -> memtable; a full memtable flushes to a level-0 table; the
+configured :mod:`~repro.lsm.strategy` (leveled by default) keeps the level
+shape healthy.  With ``value_separation_threshold`` set, large values are
+redirected at WAL time into the :mod:`~repro.lsm.vlog` region and only
+16-byte pointers travel the flush/compaction path.  Reads consult the
+memtable, then level-0 tables newest-first, then the deeper levels (one
+table per level under leveled; every overlapping run under tiering), with
+bloom filters suppressing pointless data-block reads — the same read path
+the paper credits for RocksDB's good point-read TPS.
 
-Write-traffic accounting maps onto the paper's categories: WAL bytes are
-``W_log``; memtable-flush plus compaction bytes are the LSM's equivalent of
-``W_pg``; manifest writes are ``W_e``.
+Write-traffic accounting maps onto the paper's categories: WAL plus
+value-log bytes are ``W_log`` (separation happens at WAL time);
+memtable-flush plus compaction bytes are the LSM's equivalent of ``W_pg``;
+manifest writes are ``W_e``.
 """
 
 from __future__ import annotations
 
 import heapq
+import struct
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -36,10 +44,31 @@ from repro.lsm.compaction import merge_tables, write_merged
 from repro.lsm.manifest import Manifest, ManifestEntry
 from repro.lsm.memtable import MemTable
 from repro.lsm.sstable import ExtentAllocator, SSTableReader, SSTableWriter
+from repro.lsm.strategy import STRATEGIES, get_strategy
 from repro.lsm.version import VersionSet
+from repro.lsm.vlog import ValueLog, ValueRef
 from repro.metrics.counters import TrafficSnapshot
 from repro.obs.trace import maybe_instant, maybe_span
 from repro.sim.clock import SimClock
+
+# Manifest-extension framing: strategy name + separation threshold + opaque
+# vlog slot state.  Only written when the engine departs from the default
+# (leveled, no separation) configuration, so default-config manifests stay
+# byte-identical to the pre-extension format.
+_EXT_HDR = struct.Struct("<BQI")  # strategy-name length, threshold, vlog-state length
+
+
+def _encode_extension(strategy: str, threshold: int, vlog_state: bytes) -> bytes:
+    name = strategy.encode("ascii")
+    return _EXT_HDR.pack(len(name), threshold, len(vlog_state)) + name + vlog_state
+
+
+def _decode_extension(blob: bytes) -> tuple[str, int, bytes]:
+    name_len, threshold, state_len = _EXT_HDR.unpack_from(blob)
+    offset = _EXT_HDR.size
+    name = blob[offset : offset + name_len].decode("ascii")
+    offset += name_len
+    return name, threshold, bytes(blob[offset : offset + state_len])
 
 
 @dataclass
@@ -70,6 +99,20 @@ class LSMConfig:
     flush_latency: float = 0.0
     #: Frozen memtables tolerated before writes stall (group_atomic mode).
     max_frozen_memtables: int = 2
+    #: Compaction policy (see :mod:`repro.lsm.strategy`):
+    #: leveled | tiered | lazy-leveled | partial.
+    compaction_strategy: str = "leveled"
+    #: L0 tables per job under the partial strategy (oldest-first slice).
+    partial_slice_tables: int = 1
+    #: Key-value separation: values of at least this many bytes go to the
+    #: value log at WAL time; ``None`` disables separation entirely (no
+    #: vlog region is laid out, keeping the device map unchanged).
+    value_separation_threshold: Optional[int] = None
+    #: Value-log geometry: fixed segments of ``vlog_segment_blocks`` blocks.
+    vlog_segment_blocks: int = 16
+    vlog_segments: int = 8
+    #: GC a sealed segment once free segments drop to this many.
+    vlog_gc_free_segments: int = 1
 
     def validate(self) -> None:
         if self.memtable_bytes <= 0 or self.table_target_bytes <= 0:
@@ -90,6 +133,31 @@ class LSMConfig:
             raise ConfigError(
                 "group_atomic requires a WAL with log_flush_policy='commit'"
             )
+        if self.compaction_strategy not in STRATEGIES:
+            known = ", ".join(sorted(STRATEGIES))
+            raise ConfigError(
+                f"unknown compaction_strategy {self.compaction_strategy!r} "
+                f"(choose from: {known})"
+            )
+        if self.partial_slice_tables < 1:
+            raise ConfigError("partial_slice_tables must be >= 1")
+        if self.value_separation_threshold is not None:
+            if self.value_separation_threshold <= 0:
+                raise ConfigError("value_separation_threshold must be positive")
+            if self.wal_mode == "none":
+                raise ConfigError(
+                    "value separation happens at WAL time and requires a WAL "
+                    "(wal_mode='none' would let a crash orphan value-log "
+                    "records whose pointers were never made durable)"
+                )
+            if self.vlog_segment_blocks < 1:
+                raise ConfigError("vlog_segment_blocks must be >= 1")
+            if self.vlog_segments < 2:
+                raise ConfigError("vlog needs >= 2 segments (head + GC victim)")
+            if not 1 <= self.vlog_gc_free_segments < self.vlog_segments:
+                raise ConfigError(
+                    "vlog_gc_free_segments must be in [1, vlog_segments)"
+                )
 
 
 class LSMEngine:
@@ -112,10 +180,20 @@ class LSMEngine:
         if self.config.wal_mode != "none":
             self.wal = RedoLog(device, log_start, self.config.log_blocks, sparse=False)
         pool_start = log_start + self.config.log_blocks
+        self.vlog: Optional[ValueLog] = None
+        if self.config.value_separation_threshold is not None:
+            self.vlog = ValueLog(
+                device, pool_start,
+                self.config.vlog_segment_blocks, self.config.vlog_segments,
+            )
+            pool_start += self.vlog.total_blocks
         if pool_start >= device.num_blocks:
-            raise ConfigError("device too small for manifest + log regions")
+            raise ConfigError("device too small for manifest + log + vlog regions")
         self.allocator = ExtentAllocator(pool_start, device.num_blocks - pool_start)
-        self.versions = VersionSet(self.config.max_levels)
+        self.strategy = get_strategy(self.config.compaction_strategy)
+        self.versions = VersionSet(
+            self.config.max_levels, overlapping=self.strategy.overlapping_levels
+        )
         self.memtable = MemTable()
         #: Frozen (immutable) memtables awaiting background flush, oldest
         #: first (group_atomic mode; always empty otherwise).
@@ -158,6 +236,7 @@ class LSMEngine:
             return engine
         engine._next_table_id = state.next_table_id
         engine._next_seq = state.next_seq
+        engine._adopt_extension(state.extension)
         for entry in state.entries:
             reader = SSTableReader.open(device, entry.start_block, entry.num_blocks)
             engine.allocator.mark_used(entry.start_block, entry.num_blocks)
@@ -177,6 +256,8 @@ class LSMEngine:
                     engine.memtable.put(record.key, record.value)
                 elif record.op == LogOp.DELETE:
                     engine.memtable.delete(record.key)
+                elif record.op == LogOp.PUT_VPTR:
+                    engine._replay_vptr(record)
             engine.wal.reset_to(end)
             engine._log_pos = state.log_pos
             if discarded:
@@ -186,7 +267,59 @@ class LSMEngine:
                 # makes the replayed state durable and moves the cursor past
                 # the ghosts.
                 engine.drain_memory()
+        if engine.vlog is not None:
+            # After replay (replayable head records must survive validation
+            # first): re-TRIM free slots, closing the GC window between the
+            # manifest commit point and the victim TRIM idempotently.
+            engine.vlog.scrub_free_slots()
         return engine
+
+    def _adopt_extension(self, blob: Optional[bytes]) -> None:
+        """Check and adopt the persisted strategy/vlog state at reopen."""
+        if blob is None:
+            if self.vlog is not None or self.config.compaction_strategy != "leveled":
+                raise ConfigError(
+                    "store was created with the default configuration "
+                    "(leveled compaction, no value separation); reopen with "
+                    f"compaction_strategy='leveled' and no "
+                    f"value_separation_threshold, not "
+                    f"{self.config.compaction_strategy!r}/"
+                    f"{self.config.value_separation_threshold!r}"
+                )
+            return
+        name, threshold, vlog_state = _decode_extension(blob)
+        if name != self.config.compaction_strategy:
+            raise ConfigError(
+                f"store was created with compaction_strategy={name!r}; "
+                f"reopen with the same strategy, not "
+                f"{self.config.compaction_strategy!r}"
+            )
+        if threshold != (self.config.value_separation_threshold or 0):
+            raise ConfigError(
+                f"store was created with value_separation_threshold="
+                f"{threshold or None}; reopen with the same threshold, not "
+                f"{self.config.value_separation_threshold!r}"
+            )
+        if vlog_state:
+            assert self.vlog is not None  # threshold equality implies a vlog
+            self.vlog.restore_state(vlog_state)
+
+    def _replay_vptr(self, record: LogRecord) -> None:
+        """Replay one separated put; drop it if its value bytes died.
+
+        The value record is written before the WAL record and both ride the
+        same device flush, so a pointer whose value fails validation can
+        only belong to an in-flight (unacknowledged) operation — dropping
+        it is exactly the crash semantics of a torn in-flight write.
+        """
+        if self.vlog is None:
+            raise LsmError(
+                "WAL contains value-log pointers but separation is disabled"
+            )
+        ref = ValueRef.from_wire(record.value)
+        if self.vlog.validate_record(record.key, ref):
+            self.memtable.put(record.key, ref)
+            self.vlog.note_replayed(record.key, ref)
 
     def close(self) -> None:
         """Flush the WAL and persist the manifest (memtable is replayable).
@@ -206,8 +339,19 @@ class LSMEngine:
     def put(self, key: bytes, value: bytes) -> None:
         if value is None:
             raise LsmError("None is reserved for tombstones; use delete()")
-        self._log(LogOp.PUT, key, value)
-        self.memtable.put(key, value)
+        if (
+            self.vlog is not None
+            and len(value) >= self.config.value_separation_threshold
+        ):
+            # WAL-time separation: the value goes to the vlog *before* its
+            # pointer enters the WAL, so one flush covers both and a durable
+            # pointer always has durable value bytes behind it.
+            ref = self._separate(key, value)
+            self._log(LogOp.PUT_VPTR, key, ref)
+            self.memtable.put(key, ref)
+        else:
+            self._log(LogOp.PUT, key, value)
+            self.memtable.put(key, value)
         self.user_bytes += len(key) + len(value)
         self.operations += 1
         self._group_dirty = True
@@ -246,6 +390,13 @@ class LSMEngine:
         if not isinstance(items, list):
             items = list(items)
         if not items:
+            return
+        if self.vlog is not None:
+            # Separation decides per value where bytes land; the deferred
+            # fast path's bounds don't model vlog appends, so batches take
+            # the (identical-result) per-op path.
+            for key, value in items:
+                self.put(key, value)
             return
         payload = 0
         for key, value in items:
@@ -327,23 +478,30 @@ class LSMEngine:
     def get(self, key: bytes) -> Optional[bytes]:
         found, value = self.memtable.get(key)
         if found:
-            return value
+            return self._resolve(key, value)
         for table in reversed(self.frozen):  # newest frozen first
             found, value = table.get(key)
             if found:
-                return value
+                return self._resolve(key, value)
         for reader in self.versions.tables_for_get(key):
             found, value = reader.get(key)
             if found:
-                return value
+                return self._resolve(key, value)
         return None
+
+    def _resolve(self, key: bytes, value: Optional[bytes]) -> Optional[bytes]:
+        """Follow a value-log pointer transparently (tombstones pass through)."""
+        if isinstance(value, ValueRef):
+            assert self.vlog is not None
+            return self.vlog.read(key, value)
+        return value
 
     def scan(self, start_key: bytes, count: int) -> list[tuple[bytes, bytes]]:
         """Ordered scan over the merged view of memtable + every level."""
         out = []
         for key, value in self._merged_from(start_key):
             if value is not None:
-                out.append((key, value))
+                out.append((key, self._resolve(key, value)))
                 if len(out) >= count:
                     break
         return out
@@ -351,7 +509,7 @@ class LSMEngine:
     def items(self) -> Iterator[tuple[bytes, bytes]]:
         for key, value in self._merged_from(b""):
             if value is not None:
-                yield key, value
+                yield key, self._resolve(key, value)
 
     def _merged_from(self, start_key: bytes) -> Iterator[tuple[bytes, Optional[bytes]]]:
         """Newest-wins merge of all sorted sources, tombstones included."""
@@ -434,6 +592,9 @@ class LSMEngine:
             and len(self.frozen) < self.config.max_frozen_memtables
         ):
             self.freeze_memtable()
+        # Value-log GC is boundary work too: its re-puts must form their own
+        # sealed window, which is only possible between commit windows.
+        self._maybe_gc_vlog()
 
     @property
     def write_stalled(self) -> bool:
@@ -513,6 +674,7 @@ class LSMEngine:
                 self._log_pos = self.wal.position()
             self._run_compactions()
             self._persist_manifest()
+        self._maybe_gc_vlog()
 
     # ------------------------------------------------- frozen-memtable handoff
 
@@ -562,6 +724,7 @@ class LSMEngine:
                 self._log_pos = self.wal.position()
             self._run_compactions()
             self._persist_manifest()
+        self._maybe_gc_vlog()
         if self.frozen:
             self._flush_due = self.clock.now + self.config.flush_latency
 
@@ -601,18 +764,27 @@ class LSMEngine:
 
     def _run_compactions(self) -> None:
         while True:
-            job = self.versions.pick_compaction(
-                self.config.l0_compaction_trigger,
-                self.config.level_base_bytes,
-                self.config.level_size_ratio,
-            )
-            if job is None:
+            jobs = self.strategy.plan(self.versions, self.config)
+            if not jobs:
                 return
-            self._execute(job)
+            for job in jobs:
+                self._execute(job)
 
     def _execute(self, job) -> None:
         inputs = job.inputs + job.overlaps
         bottom = job.output_level >= self.versions.deepest_nonempty_level()
+        if bottom and self.versions.overlapping_runs:
+            # Under tiering, runs excluded from the job may share the output
+            # level *and* the merged key range while holding older versions;
+            # dropping tombstones would resurrect those.  (Leveled levels
+            # are disjoint, so exclusion there implies range-disjointness.)
+            merged = {id(r) for r in inputs}
+            out_min = min(r.meta.min_key for r in inputs)
+            out_max = max(r.meta.max_key for r in inputs)
+            bottom = all(
+                id(r) in merged
+                for r in self.versions.overlapping(job.output_level, out_min, out_max)
+            )
         expected = sum(r.meta.n_records for r in inputs)
         output_seq = max(r.meta.seq for r in inputs)
         with maybe_span("lsm.compaction", "lsm", level=job.level,
@@ -656,15 +828,114 @@ class LSMEngine:
             for level, tables in enumerate(self.versions.levels)
             for r in tables
         ]
-        self.manifest.persist(entries, self._next_table_id, self._next_seq, self._log_pos)
+        extension = None
+        if self.vlog is not None or self.config.compaction_strategy != "leveled":
+            extension = _encode_extension(
+                self.config.compaction_strategy,
+                self.config.value_separation_threshold or 0,
+                self.vlog.encode_state() if self.vlog is not None else b"",
+            )
+        self.manifest.persist(
+            entries, self._next_table_id, self._next_seq, self._log_pos,
+            extension,
+        )
+
+    # -------------------------------------------------------------- value log
+
+    def _separate(self, key: bytes, value: bytes) -> ValueRef:
+        """Append a large value to the value log, reclaiming space if needed.
+
+        A GC pass with one free segment always completes (rewrites fit in
+        head remainder + one roll), so reclaiming while a free segment
+        remains — which :meth:`ValueLog.has_room`'s two-segment reserve
+        guarantees — makes forced GC safe.  The loop is bounded: every pass
+        frees its victim, and passes stop once the reserve is rebuilt or no
+        sealed victim remains.
+        """
+        vlog = self.vlog
+        assert vlog is not None
+        if not vlog.has_room(len(key), len(value)):
+            if self.config.group_atomic and self._group_dirty:
+                raise LsmError(
+                    "value log exhausted inside an open commit window; "
+                    "enlarge the vlog region or lower vlog_gc_free_segments"
+                )
+            for _ in range(vlog.segments):
+                if vlog.free_segments() >= 2:
+                    break
+                victim = vlog.oldest_sealed_slot()
+                if victim is None:
+                    break
+                self._gc_vlog_segment(victim)
+        return vlog.append(key, value)
+
+    def _maybe_gc_vlog(self) -> None:
+        """GC one sealed segment when free space runs low (flush boundary)."""
+        vlog = self.vlog
+        if vlog is None or vlog.free_segments() > self.config.vlog_gc_free_segments:
+            return
+        if self.config.group_atomic and self._group_dirty:
+            return  # defer to the next commit boundary
+        victim = vlog.oldest_sealed_slot()
+        if victim is not None:
+            self._gc_vlog_segment(victim)
+
+    def _gc_vlog_segment(self, victim: int) -> None:
+        """Reclaim one sealed segment via the re-put protocol.
+
+        Crash-ordering argument (each step leaves a recoverable state):
+
+        1. *Sweep*: collect the newest-wins view's pointers into the victim
+           — exactly the records still reachable.
+        2. *Rewrite*: append each value to the head and re-put the new
+           pointer through the normal WAL+memtable path.  The new records
+           shadow the stale pointers by recency; a crash here recovers
+           either copy consistently (newest durable pointer wins) and the
+           pass simply re-runs.
+        3. *Commit*: WAL flush (plus a COMMIT marker in group-atomic mode,
+           making the re-puts a replayable group of their own), then the
+           manifest persist — whose internal device flush barrier is what
+           orders every rewrite before the commit point — publishing the
+           victim as free.
+        4. *TRIM*: only now is the victim destroyed; its pointers are all
+           shadowed by durable re-puts.  A crash before the TRIM leaves
+           garbage that reopen re-TRIMs (``scrub_free_slots``).
+        """
+        vlog = self.vlog
+        assert vlog is not None
+        live = [
+            (key, value)
+            for key, value in self._merged_from(b"")
+            if isinstance(value, ValueRef) and vlog.slot_of(value) == victim
+        ]
+        with maybe_span("lsm.vlog_gc", "lsm", victim=victim, live=len(live)):
+            for key, ref in live:
+                value = vlog.read(key, ref)
+                new_ref = vlog.append(key, value)
+                self._log(LogOp.PUT_VPTR, key, new_ref)
+                self.memtable.put(key, new_ref)
+                vlog.stats.gc_rewritten_records += 1
+                vlog.stats.gc_rewritten_bytes += len(value)
+            if self.wal is not None and live:
+                if self.config.group_atomic:
+                    self._seal_group()
+                self.wal.flush()
+            vlog.retire(victim)
+            vlog.stats.gc_passes += 1
+            self._persist_manifest()
+            self.device.trim(vlog.slot_lba(victim), vlog.segment_blocks)
+            vlog.stats.segments_trimmed += 1
 
     # ------------------------------------------------------------ accounting
 
     def traffic_snapshot(self) -> TrafficSnapshot:
+        # Value-log appends are WAL-time traffic, so they land in W_log.
+        vlog_logical = self.vlog.stats.logical_bytes if self.vlog else 0
+        vlog_physical = self.vlog.stats.physical_bytes if self.vlog else 0
         return TrafficSnapshot(
             user_bytes=self.user_bytes,
-            log_logical=self.wal.stats.logical_bytes if self.wal else 0,
-            log_physical=self.wal.stats.physical_bytes if self.wal else 0,
+            log_logical=(self.wal.stats.logical_bytes if self.wal else 0) + vlog_logical,
+            log_physical=(self.wal.stats.physical_bytes if self.wal else 0) + vlog_physical,
             page_logical=self.flush_logical + self.compact_logical,
             page_physical=self.flush_physical + self.compact_physical,
             extra_logical=self.manifest.logical_bytes,
@@ -675,3 +946,23 @@ class LSMEngine:
     def level_shape(self) -> list[int]:
         """Bytes per level (diagnostics / level-count assertions)."""
         return [self.versions.level_bytes(level) for level in range(self.config.max_levels)]
+
+    def vlog_occupancy(self) -> Optional[dict]:
+        """Integer value-log occupancy counters plus the live sweep.
+
+        All fields are exact integers so multi-shard reports can sum them
+        without float drift; live ratio (``live_bytes / data_bytes``) is a
+        display-time division.  ``None`` when separation is disabled.
+        """
+        if self.vlog is None:
+            return None
+        occ = self.vlog.occupancy()
+        live_records = 0
+        live_bytes = 0
+        for key, value in self._merged_from(b""):
+            if isinstance(value, ValueRef):
+                live_records += 1
+                live_bytes += self.vlog.record_size(key, value.length)
+        occ["live_records"] = live_records
+        occ["live_bytes"] = live_bytes
+        return occ

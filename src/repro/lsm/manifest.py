@@ -23,6 +23,14 @@ _MAGIC = b"MAN1"
 _HDR = struct.Struct("<4sQQIIIQ")  # magic, generation, next_table_id, count, log_idx, log_seq, seq
 _ENTRY = struct.Struct("<BQQII")  # level, table_id, seq, start_block, num_blocks
 
+# Optional trailer after the entry array: engine extension state (compaction
+# strategy + value-log bookkeeping).  Absent in pre-extension snapshots —
+# the zero padding there fails the magic check and decodes as ``None`` — and
+# never written when the engine runs the default configuration, keeping
+# those snapshots byte-identical to the pre-extension format.
+_EXT_MAGIC = b"VLG1"
+_EXT_HDR = struct.Struct("<4sI")  # magic, payload length
+
 
 @dataclass
 class ManifestEntry:
@@ -40,6 +48,8 @@ class ManifestState:
     next_seq: int
     log_pos: LogPosition
     entries: list[ManifestEntry]
+    #: Opaque engine state (strategy name, vlog slots); None when absent.
+    extension: Optional[bytes] = None
 
 
 class Manifest:
@@ -70,6 +80,7 @@ class Manifest:
         next_table_id: int,
         next_seq: int,
         log_pos: LogPosition,
+        extension: Optional[bytes] = None,
     ) -> None:
         if len(entries) > self.capacity_entries:
             raise LsmError(
@@ -89,6 +100,15 @@ class Manifest:
                 entry.start_block, entry.num_blocks,
             )
             offset += _ENTRY.size
+        if extension is not None:
+            if offset + _EXT_HDR.size + len(extension) > len(payload) - 4:
+                raise LsmError(
+                    f"manifest overflow: {len(extension)}-byte extension does "
+                    f"not fit after {len(entries)} tables"
+                )
+            _EXT_HDR.pack_into(payload, offset, _EXT_MAGIC, len(extension))
+            offset += _EXT_HDR.size
+            payload[offset : offset + len(extension)] = extension
         struct.pack_into("<I", payload, len(payload) - 4, zlib.crc32(bytes(payload[:-4])))
         copy = self._generation % 2  # alternate A/B
         lba = self.start_block + copy * self.region_blocks
@@ -126,7 +146,13 @@ class Manifest:
             level, table_id, seq, start, nblocks = _ENTRY.unpack_from(raw, offset)
             entries.append(ManifestEntry(level, table_id, seq, start, nblocks))
             offset += _ENTRY.size
+        extension: Optional[bytes] = None
+        if offset + _EXT_HDR.size <= len(raw) - 4:
+            magic, ext_len = _EXT_HDR.unpack_from(raw, offset)
+            if magic == _EXT_MAGIC:
+                offset += _EXT_HDR.size
+                extension = raw[offset : offset + ext_len]
         return ManifestState(
             generation, next_table_id, next_seq,
-            LogPosition(log_idx, log_seq), entries,
+            LogPosition(log_idx, log_seq), entries, extension,
         )

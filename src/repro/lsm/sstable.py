@@ -7,7 +7,7 @@ Table layout on the device (all 4KB blocks)::
 Data blocks pack records back-to-back and zero-pad the tail (the pad
 compresses away inside the drive).  Record wire format::
 
-    flag u8 (1 = value, 2 = tombstone) | klen u16 | vlen u32 | key | value
+    flag u8 (1 = value, 2 = tombstone, 3 = vlog pointer) | klen u16 | vlen u32 | key | value
 
 The index holds the first key of every data block; index and bloom are
 loaded into memory when a table is opened, so a point read costs one data
@@ -25,6 +25,7 @@ from typing import Iterator, Optional
 from repro.csd.device import BLOCK_SIZE, BlockDevice
 from repro.errors import ConfigError, LsmError
 from repro.lsm.bloom import BloomFilter
+from repro.lsm.vlog import ValueRef
 
 _FOOTER_MAGIC = b"SST1"
 # magic, table_id, seq, n_data_blocks, n_meta_blocks, embedded_flag, n_records
@@ -33,6 +34,7 @@ _REC_HDR = struct.Struct("<BHI")
 
 FLAG_VALUE = 1
 FLAG_TOMBSTONE = 2
+FLAG_VPTR = 3  # value bytes are a 16-byte ValueRef into the value log
 
 
 class ExtentAllocator:
@@ -104,9 +106,14 @@ class SSTableMeta:
 
 
 def encode_record(key: bytes, value: Optional[bytes]) -> bytes:
-    """Wire-encode one record; ``value=None`` encodes a tombstone."""
-    flag = FLAG_TOMBSTONE if value is None else FLAG_VALUE
-    body = value if value is not None else b""
+    """Wire-encode one record; ``value=None`` encodes a tombstone and a
+    :class:`~repro.lsm.vlog.ValueRef` a value-log pointer."""
+    if value is None:
+        flag, body = FLAG_TOMBSTONE, b""
+    elif isinstance(value, ValueRef):
+        flag, body = FLAG_VPTR, value
+    else:
+        flag, body = FLAG_VALUE, value
     return _REC_HDR.pack(flag, len(key), len(body)) + key + body
 
 
@@ -332,9 +339,14 @@ class SSTableReader:
             offset += _REC_HDR.size
             key = raw[offset : offset + klen]
             offset += klen
-            value = raw[offset : offset + vlen] if flag == FLAG_VALUE else None
+            if flag == FLAG_TOMBSTONE:
+                value: Optional[bytes] = None
+            elif flag == FLAG_VPTR:
+                value = ValueRef(raw[offset : offset + vlen])
+            else:
+                value = bytes(raw[offset : offset + vlen])
             offset += vlen
-            yield bytes(key), (bytes(value) if value is not None else None)
+            yield bytes(key), value
 
     def iter_from(self, start_key: bytes) -> Iterator[tuple[bytes, Optional[bytes]]]:
         """All records with key >= ``start_key``, in order."""

@@ -1,0 +1,46 @@
+"""Pluggable compaction strategies.
+
+The registry maps ``LSMConfig.compaction_strategy`` names to policy
+classes; :func:`get_strategy` instantiates one and is the engine's (and
+``validate()``'s) single entry point, so an unknown name fails the same
+way everywhere — with :class:`~repro.errors.ConfigError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.errors import ConfigError
+from repro.lsm.strategy.base import CompactionStrategy
+from repro.lsm.strategy.lazy_leveled import LazyLeveledStrategy
+from repro.lsm.strategy.leveled import LeveledStrategy
+from repro.lsm.strategy.partial import PartialStrategy
+from repro.lsm.strategy.tiered import TieredStrategy
+
+STRATEGIES: Dict[str, Type[CompactionStrategy]] = {
+    cls.name: cls
+    for cls in (LeveledStrategy, TieredStrategy, LazyLeveledStrategy, PartialStrategy)
+}
+
+
+def get_strategy(name: str) -> CompactionStrategy:
+    """Instantiate the named strategy or raise :class:`ConfigError`."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(STRATEGIES))
+        raise ConfigError(
+            f"unknown compaction_strategy {name!r} (choose from: {known})"
+        ) from None
+    return cls()
+
+
+__all__ = [
+    "CompactionStrategy",
+    "LazyLeveledStrategy",
+    "LeveledStrategy",
+    "PartialStrategy",
+    "STRATEGIES",
+    "TieredStrategy",
+    "get_strategy",
+]

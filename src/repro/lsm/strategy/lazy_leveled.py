@@ -1,0 +1,37 @@
+"""Lazy-leveled compaction (Dostoevsky-style hybrid).
+
+Tiering at every level except the last: shallow levels accumulate runs and
+merge wholesale like :class:`~repro.lsm.strategy.tiered.TieredStrategy`,
+but a merge *into the deepest level* also picks up the overlapping tables
+already there, so the largest level — which holds most of the data and
+dominates read and space cost — stays one sorted run, while the smaller
+levels keep tiering's write savings.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lsm.strategy.base import CompactionStrategy
+from repro.lsm.strategy.tiered import run_trigger
+from repro.lsm.version import CompactionJob, VersionSet
+
+
+class LazyLeveledStrategy(CompactionStrategy):
+    name = "lazy-leveled"
+    overlapping_levels = True
+
+    def plan(self, versions: VersionSet, config) -> List[CompactionJob]:
+        last = versions.max_levels - 1
+        for level in range(last):
+            runs = versions.levels[level]
+            if len(runs) < run_trigger(level, config):
+                continue
+            inputs = list(runs)
+            overlaps: List = []
+            if level + 1 == last:
+                min_key = min(r.meta.min_key for r in inputs)
+                max_key = max(r.meta.max_key for r in inputs)
+                overlaps = versions.overlapping(last, min_key, max_key)
+            return [CompactionJob(level=level, inputs=inputs, overlaps=overlaps)]
+        return []

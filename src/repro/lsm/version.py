@@ -1,10 +1,15 @@
 """Level bookkeeping (the LSM-tree's version set).
 
-Level 0 holds whole-memtable flushes whose key ranges overlap; levels >= 1
-hold non-overlapping sorted runs.  Compaction scheduling follows leveled
-(RocksDB-default) rules: L0 compacts on file count, deeper levels on byte
-size against an exponentially growing target.
-"""
+Level 0 holds whole-memtable flushes whose key ranges overlap.  Under the
+default (leveled) regime, levels >= 1 hold a single non-overlapping sorted
+run each; a version set built with ``overlapping=True`` (tiering policies,
+see :mod:`repro.lsm.strategy`) instead allows several overlapping sorted
+runs per level — deep levels then sort newest-last like L0, reads probe
+every matching table per level, and the disjointness invariant is not
+enforced.  Compaction *scheduling* is the strategy's job; the version set
+only answers shape queries and keeps the leveled round-robin cursor
+(:meth:`round_robin_victim`), whose lifetime must match the level state it
+indexes."""
 
 from __future__ import annotations
 
@@ -32,10 +37,11 @@ class CompactionJob:
 class VersionSet:
     """The live set of tables, organised by level."""
 
-    def __init__(self, max_levels: int = 7) -> None:
+    def __init__(self, max_levels: int = 7, overlapping: bool = False) -> None:
         if max_levels < 2:
             raise CompactionError("an LSM-tree needs at least 2 levels")
         self.max_levels = max_levels
+        self.overlapping_runs = overlapping
         self.levels: list[list[SSTableReader]] = [[] for _ in range(max_levels)]
         self._compaction_cursor: dict[int, bytes] = {}
 
@@ -44,9 +50,11 @@ class VersionSet:
     def add_table(self, level: int, reader: SSTableReader) -> None:
         self._check_level(level)
         self.levels[level].append(reader)
-        if level == 0:
-            # Newest last; get() walks newest-first.
-            self.levels[0].sort(key=lambda r: r.meta.seq)
+        if level == 0 or self.overlapping_runs:
+            # Newest last; get() walks newest-first.  Same-seq tables are
+            # slices of one merge output (disjoint ranges), so the
+            # table-id tiebreak only pins iteration order.
+            self.levels[level].sort(key=lambda r: (r.meta.seq, r.meta.table_id))
         else:
             self.levels[level].sort(key=lambda r: r.meta.min_key)
             self._check_disjoint(level)
@@ -103,6 +111,11 @@ class VersionSet:
             if reader.meta.min_key <= key <= reader.meta.max_key:
                 candidates.append(reader)
         for level in range(1, self.max_levels):
+            if self.overlapping_runs:
+                for reader in reversed(self.levels[level]):  # newest run first
+                    if reader.meta.min_key <= key <= reader.meta.max_key:
+                        candidates.append(reader)
+                continue
             for reader in self.levels[level]:
                 if reader.meta.min_key <= key <= reader.meta.max_key:
                     candidates.append(reader)
@@ -117,25 +130,21 @@ class VersionSet:
         level_base_bytes: int,
         size_ratio: float,
     ) -> Optional[CompactionJob]:
-        """Choose the next compaction, or None if the shape is healthy."""
-        if len(self.levels[0]) >= l0_trigger:
-            inputs = list(self.levels[0])
-            min_key = min(r.meta.min_key for r in inputs)
-            max_key = max(r.meta.max_key for r in inputs)
-            return CompactionJob(0, inputs, self.overlapping(1, min_key, max_key))
-        for level in range(1, self.max_levels - 1):
-            target = level_base_bytes * (size_ratio ** (level - 1))
-            if self.level_bytes(level) > target:
-                victim = self._round_robin_victim(level)
-                return CompactionJob(
-                    level, [victim],
-                    self.overlapping(level + 1, victim.meta.min_key, victim.meta.max_key),
-                )
-        return None
+        """Choose the next leveled compaction, or None if the shape is healthy.
 
-    def _round_robin_victim(self, level: int) -> SSTableReader:
+        Kept as the stable scheduling entry point; the policy itself moved
+        to :mod:`repro.lsm.strategy.leveled` (imported lazily to avoid a
+        module cycle) and is shared with :class:`LeveledStrategy`.
+        """
+        from repro.lsm.strategy.leveled import plan_leveled_job
+
+        return plan_leveled_job(self, l0_trigger, level_base_bytes, size_ratio)
+
+    def round_robin_victim(self, level: int) -> Optional[SSTableReader]:
         """Rotate through the level's key space so compaction work spreads out
         (RocksDB's default victim heuristic)."""
+        if not self.levels[level]:
+            return None
         cursor = self._compaction_cursor.get(level, b"")
         for reader in self.levels[level]:
             if reader.meta.min_key > cursor:

@@ -128,6 +128,14 @@ def run_shard_task(task: ShardTask) -> dict:
     final_keys = sum(1 for _ in engine.items())
     traffic = engine.traffic_snapshot()
     stats = device.stats.snapshot()
+    # Engine-shape diagnostics (LSM stacks only): integer counters, so the
+    # parent can merge them exactly (elementwise / field-wise sums).
+    level_shape = (
+        engine.level_shape() if hasattr(engine, "level_shape") else None
+    )
+    vlog = (
+        engine.vlog_occupancy() if hasattr(engine, "vlog_occupancy") else None
+    )
     engine.close()
     return {
         "shard_id": task.shard_id,
@@ -135,6 +143,8 @@ def run_shard_task(task: ShardTask) -> dict:
         "final_keys": final_keys,
         "device_stats": stats,
         "traffic": traffic,
+        "level_shape": level_shape,
+        "vlog": vlog,
         "hub": hub.to_dict(),
     }
 
@@ -156,7 +166,32 @@ class ShardSimResult:
     def __post_init__(self) -> None:
         self.wa = compute_wa(self.traffic)
 
+    def merged_level_shape(self) -> Optional[list]:
+        """Elementwise sum of the per-shard level shapes (integer-exact)."""
+        shapes = [r["level_shape"] for r in self.per_shard
+                  if r.get("level_shape") is not None]
+        if not shapes:
+            return None
+        width = max(len(s) for s in shapes)
+        return [sum(s[i] for s in shapes if i < len(s)) for i in range(width)]
+
+    def merged_vlog(self) -> Optional[dict]:
+        """Field-wise sum of the per-shard vlog occupancies (integer-exact)."""
+        occupancies = [r["vlog"] for r in self.per_shard
+                       if r.get("vlog") is not None]
+        if not occupancies:
+            return None
+        merged = {key: sum(occ[key] for occ in occupancies)
+                  for key in occupancies[0]}
+        merged["live_ratio"] = (
+            round(merged["live_bytes"] / merged["data_bytes"], 6)
+            if merged["data_bytes"] else 0.0
+        )
+        return merged
+
     def as_dict(self) -> dict:
+        merged_shape = self.merged_level_shape()
+        merged_vlog = self.merged_vlog()
         return {
             "n_shards": self.config.n_shards,
             "partitioning": self.config.partitioning,
@@ -173,12 +208,16 @@ class ShardSimResult:
                     "physical_bytes_written": row[
                         "device_stats"
                     ].physical_bytes_written,
+                    "level_shape": row.get("level_shape"),
+                    "vlog": row.get("vlog"),
                 }
                 for row in self.per_shard
             ],
             "merged": {
                 "ops_applied": sum(r["ops_applied"] for r in self.per_shard),
                 "final_keys": sum(r["final_keys"] for r in self.per_shard),
+                "level_shape": merged_shape,
+                "vlog": merged_vlog,
                 "user_bytes": self.traffic.user_bytes,
                 "wa_total": self.wa.wa_total,
                 "wa_log": self.wa.wa_log,

@@ -57,3 +57,19 @@ def flush_on_one_branch(engine, lsn: int, txid: int, durable: bool) -> None:
     if durable:
         engine.device.flush()
     engine.wal.append(LogRecord(lsn, txid, LogOp.COMMIT, b"", b""))
+
+
+class VlogGC:
+    """Value-log GC: the victim TRIM publishes the re-put records."""
+
+    def __init__(self, device, wal):
+        self.device = device
+        self.wal = wal
+
+    def reclaim(self, victim_lba: int, head_lba: int, live) -> None:
+        for key, image in live:
+            self.device.write_block(head_lba, image)  # rewrite into the head
+            self.wal.append(LogRecord(0, 0, LogOp.PUT, key, image))
+        # CRS008: the rewritten records may still sit in the device cache —
+        # a crash after the TRIM loses both copies of the value.
+        self.device.trim(victim_lba, 4)

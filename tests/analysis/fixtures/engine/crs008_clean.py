@@ -49,3 +49,21 @@ class ShadowPagerClean:
         self.device.write_block(new_lba, image)
         self.device.flush()  # new image durable before the old one goes
         self.device.trim(old_lba)
+
+
+class VlogGCClean:
+    """The GC re-put protocol: manifest persist's flush dominates the TRIM."""
+
+    def __init__(self, device, wal):
+        self.device = device
+        self.wal = wal
+
+    def reclaim(self, victim_lba: int, head_lba: int, live) -> None:
+        for key, image in live:
+            self.device.write_block(head_lba, image)  # rewrite into the head
+            self.wal.append(LogRecord(0, 0, LogOp.PUT, key, image))
+        self._persist_manifest()  # interprocedural barrier before the TRIM
+        self.device.trim(victim_lba, 4)
+
+    def _persist_manifest(self) -> None:
+        self.device.flush()

@@ -58,3 +58,18 @@ def retry_on_service_ledger(device, lba: int, service_stats):
     except TransientIOError:  # ok: ServiceStats counters also account
         service_stats.transient_retries += 1
         raise
+
+
+def gc_sweep_silently(vlog_device, lba: int, length: int):
+    try:
+        return vlog_device.read_blocks(lba, length)
+    except TornWriteError:  # FLT003: stale vlog record dropped uncounted
+        return b""
+
+
+def gc_sweep_accounted(vlog_device, lba: int, length: int, stats):
+    try:
+        return vlog_device.read_blocks(lba, length)
+    except TornWriteError:  # ok: counted on the FaultStats ledger
+        stats.torn_write_retries += 1
+        return b""

@@ -77,12 +77,15 @@ def test_iod002_exempt_inside_csd():
 
 def test_flt003_flags_unaccounted_handlers_only():
     findings = fixture_findings("engine/flt003_bad.py", rules_only("FLT003"))
-    assert [f.line for f in findings] == [7, 14, 36, 43]
+    assert [f.line for f in findings] == [7, 14, 36, 43, 66]
     assert "TransientIOError" in findings[0].message
     assert "TornWriteError" in findings[1].message
     assert "ServiceOverloadError" in findings[2].message
     assert "ServiceStats" in findings[2].message
     assert "DeadlineExceededError" in findings[3].message
+    # The vlog GC sweep: a torn stale record dropped uncounted reports;
+    # its FaultStats-accounted counterpart right below stays clean.
+    assert "TornWriteError" in findings[4].message
 
 
 # ------------------------------------------------------------------ EXC004
@@ -167,16 +170,19 @@ def test_buf007_allows_downward_flow_and_copies():
 def test_crs008_flags_every_flushless_commit_point():
     """The acceptance fixture: each protocol copy with the flush deleted."""
     findings = fixture_findings("engine/crs008_bad.py", rules_only("CRS008"))
-    assert [f.line for f in findings] == [20, 27, 40, 52, 59]
+    assert [f.line for f in findings] == [20, 27, 40, 52, 59, 75]
     kinds = [f.message.split("(")[1].split(")")[0] for f in findings]
     assert kinds == [
         "wal-commit-marker", "wal-commit-marker", "meta-page-write",
-        "shadow-flip-trim", "wal-commit-marker",
+        "shadow-flip-trim", "wal-commit-marker", "shadow-flip-trim",
     ]
     # The interprocedural case carries the call chain as a witness.
     assert "commit_deep -> MarkerEngine._seal" in findings[1].message
     # The one-branch case: dominated on the durable branch only.
     assert "flush_on_one_branch" in findings[4].message
+    # The vlog GC re-put protocol with the manifest-persist flush deleted:
+    # the victim TRIM publishes rewrites that may still be volatile.
+    assert "VlogGC.reclaim" in findings[5].message
 
 
 def test_crs008_clean_counterparts_pass():

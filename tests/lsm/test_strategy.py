@@ -1,0 +1,208 @@
+"""Unit tests for the pluggable compaction strategies."""
+
+import pytest
+
+from repro.csd.device import CompressedBlockDevice
+from repro.errors import ConfigError
+from repro.lsm.engine import LSMConfig, LSMEngine
+from repro.lsm.strategy import STRATEGIES, get_strategy
+from repro.lsm.strategy.tiered import run_trigger
+
+
+def small_config(strategy: str = "leveled", **overrides) -> LSMConfig:
+    options = dict(
+        memtable_bytes=4 * 1024,
+        log_blocks=512,
+        log_flush_policy="commit",
+        compaction_strategy=strategy,
+    )
+    options.update(overrides)
+    return LSMConfig(**options)
+
+
+def churn(engine, n_keys: int = 120, passes: int = 3) -> dict:
+    expected = {}
+    for generation in range(passes):
+        for i in range(n_keys):
+            key = b"key%05d" % i
+            value = b"v%d-" % generation + bytes([i % 251]) * (40 + (i * 7) % 100)
+            engine.put(key, value)
+            expected[key] = value
+            if i % 16 == 15:
+                engine.commit()
+        engine.commit()
+    return expected
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_registry_names():
+    assert sorted(STRATEGIES) == ["lazy-leveled", "leveled", "partial", "tiered"]
+    for name, cls in STRATEGIES.items():
+        assert cls.name == name
+        assert get_strategy(name).name == name
+
+
+def test_unknown_strategy_raises_config_error():
+    with pytest.raises(ConfigError, match="unknown compaction_strategy"):
+        get_strategy("universal")
+
+
+def test_overlapping_levels_flags():
+    assert get_strategy("leveled").overlapping_levels is False
+    assert get_strategy("partial").overlapping_levels is False
+    assert get_strategy("tiered").overlapping_levels is True
+    assert get_strategy("lazy-leveled").overlapping_levels is True
+
+
+def test_tiered_run_trigger():
+    config = small_config("tiered")
+    assert run_trigger(0, config) == config.l0_compaction_trigger
+    assert run_trigger(1, config) == max(2, int(config.level_size_ratio))
+    assert run_trigger(3, config) == run_trigger(1, config)
+
+
+# ------------------------------------------------------------- validation
+
+
+def test_validate_rejects_unknown_strategy():
+    with pytest.raises(ConfigError, match="unknown compaction_strategy"):
+        small_config("universal").validate()
+
+
+def test_validate_rejects_bad_partial_slice():
+    with pytest.raises(ConfigError):
+        small_config("partial", partial_slice_tables=0).validate()
+
+
+def test_validate_rejects_bad_threshold():
+    with pytest.raises(ConfigError):
+        small_config(value_separation_threshold=-1).validate()
+    with pytest.raises(ConfigError):
+        small_config(value_separation_threshold=0).validate()
+
+
+def test_validate_rejects_separation_without_wal():
+    with pytest.raises(ConfigError, match="WAL"):
+        small_config(value_separation_threshold=64, wal_mode="none").validate()
+
+
+def test_validate_rejects_bad_vlog_geometry():
+    with pytest.raises(ConfigError):
+        small_config(value_separation_threshold=64, vlog_segments=1).validate()
+    with pytest.raises(ConfigError):
+        small_config(value_separation_threshold=64,
+                     vlog_segment_blocks=0).validate()
+    with pytest.raises(ConfigError):
+        small_config(value_separation_threshold=64, vlog_segments=4,
+                     vlog_gc_free_segments=4).validate()
+
+
+# ------------------------------------------------------- engine behaviour
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_strategy_reads_back_full_state(strategy):
+    device = CompressedBlockDevice(num_blocks=1 << 14)
+    engine = LSMEngine(device, small_config(strategy))
+    expected = churn(engine)
+    assert dict(engine.items()) == expected
+    for key in (b"key00000", b"key00059", b"key00119"):
+        assert engine.get(key) == expected[key]
+    engine.close()
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_strategy_state_survives_reopen(strategy):
+    device = CompressedBlockDevice(num_blocks=1 << 14)
+    engine = LSMEngine(device, small_config(strategy))
+    expected = churn(engine)
+    engine.close()
+    reopened = LSMEngine.open(device, small_config(strategy))
+    assert dict(reopened.items()) == expected
+    reopened.close()
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_strategies_compact_at_this_workload(strategy):
+    device = CompressedBlockDevice(num_blocks=1 << 14)
+    engine = LSMEngine(device, small_config(strategy))
+    churn(engine)
+    assert engine.compactions_run > 0, strategy
+    assert any(engine.level_shape()[1:]), strategy  # data reached level >= 1
+    engine.close()
+
+
+def test_tiered_levels_hold_overlapping_runs():
+    device = CompressedBlockDevice(num_blocks=1 << 14)
+    engine = LSMEngine(device, small_config("tiered"))
+    churn(engine, n_keys=200, passes=4)
+    deep = [len(tables) for tables in engine.versions.levels[1:]]
+    assert max(deep) >= 2  # a deep level holds several runs at once
+    engine.close()
+
+
+def test_lazy_leveled_keeps_last_level_single_run():
+    config = small_config("lazy-leveled", max_levels=3)
+    device = CompressedBlockDevice(num_blocks=1 << 14)
+    engine = LSMEngine(device, config)
+    churn(engine, n_keys=200, passes=4)
+    last = config.max_levels - 1
+    assert len(engine.versions.levels[last]) <= 1
+    engine.close()
+
+
+def test_partial_jobs_take_bounded_l0_slices():
+    config = small_config("partial", partial_slice_tables=1)
+    strategy = get_strategy("partial")
+    device = CompressedBlockDevice(num_blocks=1 << 14)
+    engine = LSMEngine(device, config)
+    # Fill L0 to the trigger without letting maintenance run it dry first:
+    # plan directly against the live version set after a burst of flushes.
+    churn(engine, n_keys=150, passes=2)
+    jobs = strategy.plan(engine.versions, config)
+    for job in jobs:
+        if job.level == 0:
+            assert len(job.inputs) <= config.partial_slice_tables
+    engine.close()
+
+
+def test_strategies_agree_on_final_state():
+    states = {}
+    for strategy in sorted(STRATEGIES):
+        device = CompressedBlockDevice(num_blocks=1 << 14)
+        engine = LSMEngine(device, small_config(strategy))
+        expected = churn(engine, n_keys=150, passes=3)
+        states[strategy] = dict(engine.items())
+        engine.close()
+        assert states[strategy] == expected, strategy
+    reference = states["leveled"]
+    for strategy, state in states.items():
+        assert state == reference, strategy
+
+
+def test_deletes_do_not_resurrect_under_tiering():
+    device = CompressedBlockDevice(num_blocks=1 << 14)
+    engine = LSMEngine(device, small_config("tiered"))
+    expected = churn(engine, n_keys=120, passes=2)
+    for i in range(0, 120, 3):
+        key = b"key%05d" % i
+        engine.delete(key)
+        del expected[key]
+        if i % 15 == 0:
+            engine.commit()
+    engine.commit()
+    # More churn so the tombstones ride several merges.
+    for i in range(60, 120):
+        key = b"key%05d" % i
+        if key in expected:
+            value = b"final-" + bytes([i % 7]) * 50
+            engine.put(key, value)
+            expected[key] = value
+    engine.commit()
+    assert dict(engine.items()) == expected
+    engine.close()
+    reopened = LSMEngine.open(device, small_config("tiered"))
+    assert dict(reopened.items()) == expected
+    reopened.close()

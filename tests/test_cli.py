@@ -234,3 +234,40 @@ def test_shard_sim_jobs_merge_is_exact(capsys):
 def test_shard_sim_rejects_unknown_partitioning():
     with pytest.raises(SystemExit):
         main(shard_small("--partitioning", "consistent-hash"))
+
+
+# ---------------------------------------------------- repro compact-compare
+
+
+def test_compact_compare_table(capsys):
+    rc = main(["compact-compare", "--strategies", "leveled",
+               "--value-sizes", "400", "--keys", "40"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Compaction strategy WA sweep" in out
+    assert "WA (KV-sep)" in out and "leveled" in out
+
+
+def test_compact_compare_unknown_strategy_exits_nonzero(capsys):
+    rc = main(["compact-compare", "--strategies", "universal", "--keys", "20"])
+    assert rc == 1
+    assert "unknown compaction_strategy" in capsys.readouterr().err
+
+
+def test_compact_compare_bad_threshold_exits_nonzero(capsys):
+    rc = main(["compact-compare", "--strategies", "leveled",
+               "--threshold", "-5", "--keys", "20"])
+    assert rc == 1
+    assert "repro: error" in capsys.readouterr().err
+
+
+def test_stats_json_exports_engine_shape(tmp_path, capsys):
+    path = tmp_path / "hub.json"
+    rc = main(tiny("stats", "--system", "rocksdb", "--window", "0.1",
+                   "--json", str(path)))
+    assert rc == 0
+    data = json.loads(path.read_text())
+    shape = data["engine"]["level_shape"]
+    assert isinstance(shape, list) and len(shape) > 0
+    assert all(isinstance(b, int) for b in shape)
+    assert sum(shape) > 0  # steady state pushed data into the levels

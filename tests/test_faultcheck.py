@@ -142,3 +142,41 @@ def test_lsm_group_sut_skips_probabilistic_fault_trials():
                             seed=2022)
     assert report["passed"]
     assert report["systems"]["lsm-group"]["fault_trials"]["trials"] == 0
+
+
+def test_lsm_vlog_sut_passes_scaled_campaign():
+    """The value-log GC protocol recovers at every scheduled crash point."""
+    report = run_faultcheck(["lsm-vlog"], ops=200, budget=3, trials=1,
+                            seed=2022)
+    assert report["passed"], format_report(report)
+    entry = report["systems"]["lsm-vlog"]
+    assert entry["crash_points"]["failures"] == []
+    assert entry["crash_points"]["tested"] == 6  # 3 points x drop+torn
+
+
+def test_lsm_vlog_registered_in_campaign_and_cli_defaults():
+    assert "lsm-vlog" in FAULTCHECK_SYSTEMS
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(["faultcheck"])
+    assert "lsm-vlog" in args.systems.split(",")
+
+
+def test_lsm_vlog_workload_forces_gc_passes():
+    """The campaign geometry is tight enough that GC actually runs —
+    otherwise the crash schedule would never cut inside the GC protocol."""
+    from repro.csd.device import CompressedBlockDevice
+
+    sut = _make_suts()["lsm-vlog"]
+    device = CompressedBlockDevice(4096)
+    engine = sut.create(device)
+    for kind, k, v in make_workload(2022, 200):
+        if kind == "put":
+            engine.put(k, v)
+        else:
+            engine.delete(k)
+        engine.commit()
+    assert engine.vlog is not None
+    assert engine.vlog.stats.gc_passes > 0
+    assert engine.vlog.stats.appended_records > 0
